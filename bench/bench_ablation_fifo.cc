@@ -1,0 +1,75 @@
+// Ablation E: FIFO capacity vs the push-SP convoy.
+//
+// DESIGN.md calls out the FIFO page buffer's bounded capacity as the
+// mechanism behind push-SP's serialization: the host's TeeSink blocks on
+// the *slowest* satellite's full buffer, convoying everyone. Deeper
+// buffers relax the convoy (at memory cost) but never remove the N deep
+// copies per page; the Shared Pages List removes both. This bench fixes
+// the workload (8 identical TPC-H Q1, SP at the scan stage) and sweeps
+// the FIFO capacity for push-SP, with pull-SP as the floor.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace sharing;
+using namespace sharing::bench;
+
+namespace {
+
+double RunPoint(Database* db, const PlanNodeRef& q1, EngineMode mode,
+                std::size_t fifo_capacity) {
+  EngineConfig config;
+  config.fifo_capacity = fifo_capacity;
+  SharingEngine engine(db, config);
+  engine.SetMode(mode);
+  SpMode scan_sp = mode == EngineMode::kSpPush   ? SpMode::kPush
+                   : mode == EngineMode::kSpPull ? SpMode::kPull
+                                                 : SpMode::kOff;
+  engine.qpipe()->SetSpModeAllStages(SpMode::kOff);
+  engine.qpipe()->scan_stage()->SetSpMode(scan_sp);
+  SHARING_CHECK(engine.Execute(q1).ok());  // warm-up
+
+  constexpr int kQueries = 8;
+  constexpr int kTrials = 3;
+  std::vector<double> trials(kTrials);
+  for (int t = 0; t < kTrials; ++t) {
+    Stopwatch wall;
+    std::vector<QueryHandle> handles;
+    for (int i = 0; i < kQueries; ++i) handles.push_back(engine.Submit(q1));
+    for (auto& h : handles) SHARING_CHECK(h.Collect().ok());
+    trials[t] = wall.ElapsedSeconds() * 1e3;
+  }
+  std::sort(trials.begin(), trials.end());
+  return trials[kTrials / 2];
+}
+
+}  // namespace
+
+int main() {
+  const double sf = ScaleFactor(0.02);
+  auto db = MakeMemoryDb();
+  std::printf("Generating TPC-H lineitem, SF=%.3f ...\n", sf);
+  SHARING_CHECK_OK(
+      tpch::GenerateLineitem(db->catalog(), db->buffer_pool(), sf).status());
+  PlanNodeRef q1 = tpch::MakeQ1Plan(90);
+
+  PrintHeader(
+      "Ablation E: push-SP convoy vs FIFO capacity (8 identical Q1, "
+      "SP at the scan stage)");
+  std::printf("%-10s %14s %14s\n", "capacity", "sp-push", "sp-pull");
+
+  for (std::size_t capacity : {1, 2, 4, 8, 32, 128}) {
+    double push = RunPoint(db.get(), q1, EngineMode::kSpPush, capacity);
+    double pull = RunPoint(db.get(), q1, EngineMode::kSpPull, capacity);
+    std::printf("%-10zu %12.1fms %12.1fms\n", capacity, push, pull);
+  }
+
+  std::printf(
+      "\nExpected shape: push-SP improves as the FIFO deepens (the convoy\n"
+      "on the slowest consumer relaxes) but plateaus above the copy cost;\n"
+      "pull-SP is insensitive to the knob — the SPL never copies and never\n"
+      "blocks the producer on a reader.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro B: the mechanism behind Fig. 1b — query-bitmap operations and the
+// shared hash-join probe, as a function of concurrent-query count.
+//
+// This is the "bookkeeping overhead" Scenario III attributes to shared
+// operators: every fact tuple pays one probe + bitmap AND per dimension
+// level, regardless of how many queries want it.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+
+namespace sharing {
+namespace {
+
+void BM_BitmapAnd(benchmark::State& state) {
+  const std::size_t capacity = static_cast<std::size_t>(state.range(0));
+  const std::size_t words = (capacity + 63) / 64;
+  std::vector<uint64_t> a(words, ~0ull), b(words);
+  Rng rng(1);
+  for (auto& w : b) w = rng.Next();
+
+  for (auto _ : state) {
+    std::vector<uint64_t> tmp = a;
+    benchmark::DoNotOptimize(BitmapAndInPlace(tmp.data(), b.data(), words));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_QuerySetForEach(benchmark::State& state) {
+  const std::size_t capacity = static_cast<std::size_t>(state.range(0));
+  QuerySet set(capacity);
+  // ~25% of bits set (typical mid-chain survivor density).
+  Rng rng(2);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    if (rng.Bernoulli(0.25)) set.Set(i);
+  }
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    set.ForEachSetBit([&](std::size_t b) { sum += b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Shared dimension probe: hash lookup + (entry | neutral) AND, like one
+/// CJOIN level processing one fact tuple.
+void BM_SharedProbeChain(benchmark::State& state) {
+  const std::size_t n_queries = static_cast<std::size_t>(state.range(0));
+  const std::size_t words = (n_queries + 63) / 64;
+  constexpr std::size_t kDimRows = 2000;
+  constexpr int kLevels = 3;
+
+  struct Entry {
+    std::vector<uint64_t> bits;
+  };
+  std::vector<std::unordered_map<int64_t, Entry>> levels(kLevels);
+  std::vector<std::vector<uint64_t>> neutral(kLevels);
+  Rng rng(3);
+  for (int l = 0; l < kLevels; ++l) {
+    neutral[l].assign(words, 0);
+    for (std::size_t k = 0; k < kDimRows; ++k) {
+      Entry e;
+      e.bits.assign(words, 0);
+      for (std::size_t w = 0; w < words; ++w) e.bits[w] = rng.Next();
+      levels[l].emplace(static_cast<int64_t>(k), std::move(e));
+    }
+  }
+
+  std::vector<uint64_t> bits(words);
+  int64_t fk = 0;
+  for (auto _ : state) {
+    for (std::size_t w = 0; w < words; ++w) bits[w] = ~0ull;
+    bool alive = true;
+    for (int l = 0; l < kLevels && alive; ++l) {
+      fk = (fk + 7) % kDimRows;
+      auto it = levels[l].find(fk);
+      std::vector<uint64_t> combined(words);
+      for (std::size_t w = 0; w < words; ++w) {
+        combined[w] =
+            (it != levels[l].end() ? it->second.bits[w] : 0) | neutral[l][w];
+      }
+      alive = BitmapAndInPlace(bits.data(), combined.data(), words);
+    }
+    benchmark::DoNotOptimize(alive);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("per-fact-tuple cost of a 3-level shared join chain");
+}
+
+BENCHMARK(BM_BitmapAnd)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_QuerySetForEach)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_SharedProbeChain)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace sharing
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Scenario II (paper §4.4, Fig. 5): impact of concurrency.
+//
+// Selectivity fixed at 1%, template parameters randomized across many
+// variants (to suppress SP's common-sub-plan hits, per the paper), the
+// database disk-resident, SP enabled for all stages on both lines.
+// x-axis: number of concurrent clients; series: QPipe with query-centric
+// operators (+SP) vs the CJOIN global query plan.
+//
+// Paper-expected shape: shared operators (GQP) win at high concurrency —
+// one fact-table pipeline serves everyone — while query-centric operators
+// saturate and degrade as clients contend for I/O and CPU.
+
+#include "bench_common.h"
+
+using namespace sharing;
+using namespace sharing::bench;
+
+int main() {
+  const double sf = ScaleFactor(0.01);
+  const double window = WindowSeconds(2.0);
+
+  auto db = MakeDiskDb(/*frames=*/512);
+  // Scale the rotational-latency model down so that the effect this
+  // scenario demonstrates — query-centric operators saturating the CPU as
+  // concurrency grows, while the shared pipeline's work stays bounded —
+  // is reachable with a container's core count. With the full 15kRPM
+  // model, a fact cycle is so I/O-dominated that per-query join CPU never
+  // saturates two cores at any reasonable client count.
+  db->SetDiskResident(/*read_latency_micros=*/55, /*bandwidth_mib=*/15000);
+  std::printf("Generating SSB, SF=%.3f (disk-resident regime) ...\n", sf);
+  SHARING_CHECK_OK(ssb::GenerateAll(db->catalog(), db->buffer_pool(), sf));
+
+  SharingEngine engine(db.get(), SsbEngineConfig());
+
+  PrintHeader(
+      "Scenario II: throughput vs concurrency (sel=1%, randomized plans, "
+      "disk-resident)");
+  std::printf("%-8s %-15s %10s %12s %12s\n", "clients", "mode", "qps",
+              "mean(ms)", "admissions");
+
+  for (std::size_t clients : {1, 2, 4, 8, 16, 32, 64}) {
+    for (EngineMode mode : {EngineMode::kSpPull, EngineMode::kGqp}) {
+      engine.SetMode(mode);
+      auto before = db->metrics()->Snapshot();
+
+      DriverOptions driver_options;
+      driver_options.num_clients = clients;
+      driver_options.duration_seconds = window;
+
+      auto report = RunClosedLoop(
+          driver_options,
+          [&](std::size_t client, uint64_t iteration) {
+            ssb::StarTemplateParams params;
+            params.selectivity = 0.01;
+            // Many variants => effectively no common sub-plans for SP.
+            params.num_variants = 1024;
+            params.variant =
+                static_cast<int>((client * 131 + iteration * 7) % 1024);
+            return ssb::ParameterizedStarPlan(params);
+          },
+          [&](const PlanNodeRef& plan) {
+            auto r = engine.Execute(plan);
+            return r.ok() ? Status::OK() : r.status();
+          });
+
+      auto delta = MetricsRegistry::Delta(before, db->metrics()->Snapshot());
+      std::printf("%-8zu %-15s %10.2f %12.1f %12lld\n", clients,
+                  std::string(EngineModeToString(mode)).c_str(),
+                  report.throughput_qps, report.mean_response_ms,
+                  static_cast<long long>(
+                      delta[metrics::kCjoinQueriesAdmitted]));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape (paper Fig. 5 / rule of thumb): the gqp line\n"
+      "overtakes sp-pull as clients grow — the single shared pipeline\n"
+      "amortizes the fact scan and joins across all concurrent queries.\n");
+  return 0;
+}

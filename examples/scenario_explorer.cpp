@@ -1,0 +1,230 @@
+// scenario_explorer: the command-line stand-in for the demo's interactive
+// GUI. Every knob the paper's interface exposes (Fig. 3) is a flag; the
+// output is the series the GUI would plot plus the auxiliary system
+// measurements.
+//
+// Usage:
+//   ./scenario_explorer --scenario=1|2|3|4 [options]
+//
+// Common options:
+//   --sf=<double>          scale factor                (default 0.01)
+//   --clients=<n>          concurrent clients          (scenario default)
+//   --selectivity=<f>      per-dimension selectivity   (default 0.01)
+//   --variants=<n>         distinct plans in the mix   (default 16)
+//   --disk                 disk-resident regime (latency model + small pool)
+//   --batch                clients submit in waves
+//   --seconds=<f>          measurement window per point (default 1.5)
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/sharing_engine.h"
+#include "workload/driver.h"
+#include "workload/ssb.h"
+#include "workload/tpch.h"
+
+using namespace sharing;
+
+namespace {
+
+struct Args {
+  int scenario = 2;
+  double sf = 0.01;
+  int clients = -1;  // -1 = scenario default
+  double selectivity = 0.01;
+  int variants = 16;
+  bool disk = false;
+  bool batch = false;
+  double seconds = 1.5;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--scenario=")) args.scenario = std::atoi(v);
+    else if (const char* v = val("--sf=")) args.sf = std::atof(v);
+    else if (const char* v = val("--clients=")) args.clients = std::atoi(v);
+    else if (const char* v = val("--selectivity="))
+      args.selectivity = std::atof(v);
+    else if (const char* v = val("--variants=")) args.variants = std::atoi(v);
+    else if (a == "--disk") args.disk = true;
+    else if (a == "--batch") args.batch = true;
+    else if (const char* v = val("--seconds=")) args.seconds = std::atof(v);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<Database> MakeDb(const Args& args, bool ssb_data) {
+  DatabaseOptions options;
+  options.buffer_pool_frames = args.disk ? 512 : 65536;
+  auto db = std::make_unique<Database>(options);
+  if (args.disk) db->SetDiskResident();
+  if (ssb_data) {
+    SHARING_CHECK_OK(ssb::GenerateAll(db->catalog(), db->buffer_pool(),
+                                      args.sf));
+  } else {
+    auto t = tpch::GenerateLineitem(db->catalog(), db->buffer_pool(),
+                                    args.sf);
+    SHARING_CHECK(t.ok()) << t.status().ToString();
+  }
+  return db;
+}
+
+/// Scenario I: push vs pull SP on identical TPC-H Q1 instances.
+void RunScenario1(const Args& args) {
+  auto db = MakeDb(args, /*ssb_data=*/false);
+  SharingEngine engine(db.get(), EngineConfig{});
+  PlanNodeRef q1 = tpch::MakeQ1Plan(90);
+
+  std::vector<int> concurrency = {1, 2, 4, 8, 16, 32};
+  if (args.clients > 0) concurrency = {args.clients};
+
+  std::printf("# Scenario I: push vs pull SP, identical TPC-H Q1\n");
+  std::printf("%-8s %-15s %12s %10s %14s\n", "queries", "mode", "resp(ms)",
+              "cpu(s)", "bytes-copied");
+  for (int n : concurrency) {
+    for (EngineMode mode : {EngineMode::kQueryCentric, EngineMode::kSpPush,
+                            EngineMode::kSpPull}) {
+      engine.SetMode(mode);
+      auto before = db->metrics()->Snapshot();
+      CpuTimer cpu;
+      Stopwatch wall;
+      std::vector<QueryHandle> handles;
+      for (int i = 0; i < n; ++i) handles.push_back(engine.Submit(q1));
+      for (auto& h : handles) SHARING_CHECK(h.Collect().ok());
+      auto delta = MetricsRegistry::Delta(before, db->metrics()->Snapshot());
+      std::printf("%-8d %-15s %12.1f %10.2f %14lld\n", n,
+                  std::string(EngineModeToString(mode)).c_str(),
+                  wall.ElapsedSeconds() * 1e3, cpu.ElapsedSeconds(),
+                  static_cast<long long>(delta[metrics::kSpBytesCopied]));
+    }
+  }
+}
+
+/// Scenarios II-IV share this core: SSB star template under two engines.
+void RunSsbScenario(const Args& args, const std::vector<double>& xs,
+                    const char* x_name,
+                    const std::function<ssb::StarTemplateParams(
+                        double x, std::size_t client, uint64_t iter)>& make,
+                    const std::vector<EngineMode>& modes,
+                    std::size_t clients) {
+  auto db = MakeDb(args, /*ssb_data=*/true);
+  EngineConfig config;
+  config.fact_table = "lineorder";
+  config.cjoin_levels = ssb::PipelineLevels();
+  SharingEngine engine(db.get(), config);
+
+  std::printf("%-10s %-15s %10s %12s %12s %10s\n", x_name, "mode",
+              "qps", "mean(ms)", "admissions", "sp-hits");
+  for (double x : xs) {
+    for (EngineMode mode : modes) {
+      engine.SetMode(mode);
+      auto before = db->metrics()->Snapshot();
+      DriverOptions driver_options;
+      driver_options.num_clients = clients;
+      driver_options.duration_seconds = args.seconds;
+      driver_options.batched = args.batch;
+      auto report = RunClosedLoop(
+          driver_options,
+          [&](std::size_t client, uint64_t iter) {
+            return ssb::ParameterizedStarPlan(make(x, client, iter));
+          },
+          [&](const PlanNodeRef& plan) {
+            auto r = engine.Execute(plan);
+            return r.ok() ? Status::OK() : r.status();
+          });
+      auto delta = MetricsRegistry::Delta(before, db->metrics()->Snapshot());
+      std::printf("%-10.3f %-15s %10.2f %12.1f %12lld %10lld\n", x,
+                  std::string(EngineModeToString(mode)).c_str(),
+                  report.throughput_qps, report.mean_response_ms,
+                  static_cast<long long>(
+                      delta[metrics::kCjoinQueriesAdmitted]),
+                  static_cast<long long>(delta[metrics::kSpOpportunities]));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+
+  switch (args.scenario) {
+    case 1:
+      RunScenario1(args);
+      break;
+    case 2: {
+      // Impact of concurrency: x = clients, randomized variants.
+      std::vector<double> xs = {1, 2, 4, 8, 16};
+      if (args.clients > 0) xs = {double(args.clients)};
+      std::printf("# Scenario II: impact of concurrency (x = clients)\n");
+      for (double x : xs) {
+        RunSsbScenario(
+            args, {x}, "clients",
+            [&](double, std::size_t client, uint64_t iter) {
+              ssb::StarTemplateParams p;
+              p.selectivity = args.selectivity;
+              p.num_variants = args.variants;
+              p.variant = static_cast<int>((client * 31 + iter) %
+                                           args.variants);
+              return p;
+            },
+            {EngineMode::kSpPull, EngineMode::kGqp},
+            static_cast<std::size_t>(x));
+      }
+      break;
+    }
+    case 3: {
+      // Impact of selectivity: low concurrency, x = selectivity.
+      std::size_t clients = args.clients > 0 ? args.clients : 4;
+      std::printf("# Scenario III: impact of selectivity (x = sel)\n");
+      RunSsbScenario(
+          args, {0.001, 0.01, 0.05, 0.10, 0.20}, "selectivity",
+          [&](double x, std::size_t client, uint64_t iter) {
+            ssb::StarTemplateParams p;
+            p.selectivity = x;
+            p.num_variants = args.variants;
+            p.variant =
+                static_cast<int>((client * 31 + iter) % args.variants);
+            return p;
+          },
+          {EngineMode::kSpPull, EngineMode::kGqp}, clients);
+      break;
+    }
+    case 4: {
+      // Impact of similarity: x = number of distinct plans.
+      std::size_t clients = args.clients > 0 ? args.clients : 16;
+      std::printf("# Scenario IV: impact of similarity (x = #plans)\n");
+      RunSsbScenario(
+          args, {1, 2, 4, 8, 16}, "plans",
+          [&](double x, std::size_t client, uint64_t iter) {
+            ssb::StarTemplateParams p;
+            p.selectivity = args.selectivity;
+            p.num_variants = static_cast<int>(x);
+            p.variant = static_cast<int>((client * 31 + iter) %
+                                         p.num_variants);
+            return p;
+          },
+          {EngineMode::kGqp, EngineMode::kGqpSp}, clients);
+      break;
+    }
+    default:
+      std::fprintf(stderr, "--scenario must be 1..4\n");
+      return 2;
+  }
+  return 0;
+}

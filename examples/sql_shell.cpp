@@ -1,0 +1,226 @@
+// sql_shell: an interactive SQL shell over the sharing engine.
+//
+//   ./sql_shell [--sf 0.01] [--disk] [--mode sp-pull] [-c "SELECT ..."]
+//
+// The demo paper's GUI lets the audience pick an execution strategy and
+// fire analytical queries at the same data; this shell is the terminal
+// equivalent. Meta commands:
+//
+//   \mode [name]   show or switch the execution mode
+//                  (query-centric | sp-push | sp-pull | gqp | gqp+sp)
+//   \tables        list tables
+//   \schema NAME   show a table's schema
+//   \stats         engine counters (SP hits, CJOIN admissions, I/O)
+//   \plan SQL      show the compiled plan without running it
+//   \help          this text
+//   \quit          exit
+//
+// Everything else is parsed as SQL:
+//
+//   sql> SELECT d_year, SUM(lo_revenue) AS revenue
+//        FROM lineorder JOIN date ON lo_orderdate = d_datekey
+//        GROUP BY d_year ORDER BY d_year;
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "core/sharing_engine.h"
+#include "sql/binder.h"
+#include "workload/ssb.h"
+#include "workload/tpch.h"
+
+using namespace sharing;
+
+namespace {
+
+bool ParseMode(const std::string& name, EngineMode* mode) {
+  for (EngineMode m :
+       {EngineMode::kQueryCentric, EngineMode::kSpPush, EngineMode::kSpPull,
+        EngineMode::kGqp, EngineMode::kGqpSp}) {
+    if (name == EngineModeToString(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintStats(Database* db) {
+  auto snapshot = db->metrics()->Snapshot();
+  std::printf("%-32s %12s\n", "counter", "value");
+  for (const auto& [name, value] : snapshot) {
+    if (value != 0) {
+      std::printf("%-32s %12lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    }
+  }
+}
+
+void RunSql(SharingEngine* engine, const std::string& text,
+            bool plan_only) {
+  auto plan_or = sql::CompileSelect(*engine->database()->catalog(), text);
+  if (!plan_or.ok()) {
+    std::printf("error: %s\n", plan_or.status().ToString().c_str());
+    return;
+  }
+  if (plan_only) {
+    std::printf("%s\n", plan_or.value()->Canonical().c_str());
+    return;
+  }
+  Stopwatch timer;
+  auto result = engine->Execute(plan_or.value());
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", result.value().ToString(40).c_str());
+  std::printf("(%zu rows, %.1f ms, mode %s)\n", result.value().num_rows(),
+              timer.ElapsedSeconds() * 1e3,
+              std::string(EngineModeToString(engine->mode())).c_str());
+}
+
+void RunMeta(SharingEngine* engine, const std::string& line) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  Database* db = engine->database();
+
+  if (command == "\\help") {
+    std::printf(
+        "\\mode [name]   show/switch mode (query-centric|sp-push|sp-pull|"
+        "gqp|gqp+sp)\n"
+        "\\tables        list tables\n"
+        "\\schema NAME   table schema\n"
+        "\\stats         engine counters\n"
+        "\\plan SQL      compile without executing\n"
+        "\\quit          exit\n");
+  } else if (command == "\\mode") {
+    std::string name;
+    if (in >> name) {
+      EngineMode mode;
+      if (!ParseMode(name, &mode)) {
+        std::printf("unknown mode '%s'\n", name.c_str());
+        return;
+      }
+      engine->SetMode(mode);
+    }
+    std::printf("mode: %s\n",
+                std::string(EngineModeToString(engine->mode())).c_str());
+  } else if (command == "\\tables") {
+    for (const auto& name : db->catalog()->TableNames()) {
+      auto* table = db->catalog()->GetTable(name).value();
+      std::printf("%-12s %10llu rows %8zu pages\n", name.c_str(),
+                  static_cast<unsigned long long>(table->num_rows()),
+                  table->num_pages());
+    }
+  } else if (command == "\\schema") {
+    std::string name;
+    if (!(in >> name)) {
+      std::printf("usage: \\schema TABLE\n");
+      return;
+    }
+    auto table_or = db->catalog()->GetTable(name);
+    if (!table_or.ok()) {
+      std::printf("%s\n", table_or.status().ToString().c_str());
+      return;
+    }
+    const Schema& schema = table_or.value()->schema();
+    for (std::size_t i = 0; i < schema.num_columns(); ++i) {
+      const Column& column = schema.column(i);
+      std::printf("  %-20s %s(%zu)\n", column.name.c_str(),
+                  std::string(ValueTypeToString(column.type)).c_str(),
+                  column.width);
+    }
+  } else if (command == "\\stats") {
+    PrintStats(db);
+  } else if (command == "\\plan") {
+    std::string rest;
+    std::getline(in, rest);
+    RunSql(engine, rest, /*plan_only=*/true);
+  } else {
+    std::printf("unknown command %s (try \\help)\n", command.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.01;
+  bool disk = false;
+  std::string mode_name = "sp-pull";
+  std::string one_shot;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sf" && i + 1 < argc) {
+      sf = std::atof(argv[++i]);
+    } else if (arg == "--disk") {
+      disk = true;
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode_name = argv[++i];
+    } else if (arg == "-c" && i + 1 < argc) {
+      one_shot = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sf F] [--disk] [--mode M] [-c SQL]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  DatabaseOptions db_options;
+  db_options.buffer_pool_frames = disk ? 512 : 65536;
+  Database db(db_options);
+  if (disk) db.SetDiskResident();
+
+  std::fprintf(stderr, "Loading SSB (SF=%.3f) + TPC-H lineitem ...\n", sf);
+  Status st = ssb::GenerateAll(db.catalog(), db.buffer_pool(), sf);
+  if (st.ok()) {
+    st = tpch::GenerateLineitem(db.catalog(), db.buffer_pool(), sf).status();
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  EngineConfig config;
+  config.fact_table = "lineorder";
+  config.cjoin_levels = ssb::PipelineLevels();
+  if (!ParseMode(mode_name, &config.mode)) {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode_name.c_str());
+    return 1;
+  }
+  SharingEngine engine(&db, config);
+
+  if (!one_shot.empty()) {
+    RunSql(&engine, one_shot, /*plan_only=*/false);
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "sharing-engine SQL shell — \\help for commands, \\quit to "
+               "exit. Statements end with ';'.\n");
+  std::string buffer;
+  std::string line;
+  for (;;) {
+    std::fputs(buffer.empty() ? "sql> " : "...> ", stderr);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty()) {
+      if (line == "\\quit" || line == "\\q") break;
+      if (!line.empty() && line[0] == '\\') {
+        RunMeta(&engine, line);
+        continue;
+      }
+    }
+    buffer += line;
+    buffer += '\n';
+    if (line.find(';') != std::string::npos) {
+      RunSql(&engine, buffer, /*plan_only=*/false);
+      buffer.clear();
+    }
+  }
+  return 0;
+}

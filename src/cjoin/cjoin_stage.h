@@ -1,0 +1,43 @@
+// CJoinStage: the CJOIN operator packaged as a QPipe stage (paper Fig. 2).
+//
+// Packets arriving here carry star-join sub-plans; the stage admits them to
+// the shared CJOIN pipeline. Because it is a regular Stage, all of QPipe's
+// SP machinery applies: with SP enabled (pull mode), two queries whose
+// star sub-plans are identical share one CJOIN admission — the satellite
+// reads the host's Shared Pages List, "saving admission costs and
+// unnecessary book-keeping costs" exactly as the paper describes.
+
+#pragma once
+
+#include "cjoin/pipeline.h"
+#include "cjoin/star_query.h"
+#include "qpipe/engine.h"
+#include "qpipe/stage.h"
+
+namespace sharing {
+
+class CJoinStage final : public Stage {
+ public:
+  CJoinStage(CJoinPipeline* pipeline, Options options,
+             MetricsRegistry* metrics)
+      : Stage("CJOIN", options, metrics), pipeline_(pipeline) {}
+
+  CJoinPipeline* pipeline() const { return pipeline_; }
+
+ protected:
+  void RunPacket(Packet& packet) override;
+
+ private:
+  CJoinPipeline* pipeline_;
+};
+
+/// Routes CJOIN-eligible join sub-plans of `engine` to `stage`: installs a
+/// join-dispatch hook that converts star sub-plans to StarQuerySpecs and
+/// submits them as CJOIN packets; non-star joins fall back to the
+/// query-centric JOIN stage. Returns the shared stage so callers can flip
+/// its SP mode (GQP vs GQP+SP).
+std::shared_ptr<CJoinStage> AttachCJoinToEngine(QPipeEngine* engine,
+                                                CJoinPipeline* pipeline,
+                                                Stage::Options options);
+
+}  // namespace sharing

@@ -1,0 +1,62 @@
+#include "cjoin/dimension_table.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/tuple.h"
+
+namespace sharing {
+
+DimensionHashTable::DimensionHashTable(const Table* dim, std::size_t pk_col,
+                                       std::size_t max_queries)
+    : dim_(dim),
+      pk_col_(pk_col),
+      max_queries_(max_queries),
+      neutral_(max_queries) {
+  SHARING_CHECK(pk_col < dim->schema().num_columns());
+  SHARING_CHECK(dim->schema().column(pk_col).type == ValueType::kInt64)
+      << "dimension key must be int64";
+}
+
+Status DimensionHashTable::AdmitQuery(std::size_t bit,
+                                      const Expr& predicate) {
+  const Schema& schema = dim_->schema();
+  const std::size_t width = schema.row_width();
+  BufferPool* pool = dim_->buffer_pool();
+  for (std::size_t p = 0; p < dim_->num_pages(); ++p) {
+    PageGuard guard;
+    SHARING_ASSIGN_OR_RETURN(guard, pool->FetchPage(dim_->page_id(p)));
+    const uint8_t* frame = guard.data();
+    const uint32_t n = page_layout::RowCount(frame);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint8_t* raw = page_layout::RowAt(frame, i);
+      TupleRef row(raw, &schema);
+      if (!predicate.EvalBool(row)) continue;
+      int64_t key = row.GetInt64(pk_col_);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        auto entry = std::make_unique<Entry>();
+        entry->row.assign(raw, raw + width);
+        entry->bits = QuerySet(max_queries_);
+        it = entries_.emplace(key, std::move(entry)).first;
+      }
+      it->second->bits.Set(bit);
+    }
+  }
+  return Status::OK();
+}
+
+void DimensionHashTable::RemoveQuery(std::size_t bit) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second->bits.Clear(bit);
+    if (it->second->bits.None()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sharing

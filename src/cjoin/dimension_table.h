@@ -1,0 +1,84 @@
+// DimensionHashTable: one level of the CJOIN pipeline's shared hash-join
+// chain (paper Fig. 1b / Fig. 2).
+//
+// Entries map a dimension key to the dimension tuple (projected row) plus a
+// query bitmap: bit q set means "this dimension tuple satisfies query q's
+// selection predicate on this dimension". Probing ANDs the fact tuple's
+// bitmap with the entry's bitmap, OR'd with the level's *neutral* bitmap —
+// the bits of queries that do not reference this dimension at all, which
+// must pass through unaffected.
+//
+// Synchronization: probes run under the pipeline's shared (epoch) lock;
+// AdmitQuery/RemoveQuery run under the exclusive lock, so the table itself
+// needs no internal locking.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "exec/expr.h"
+#include "storage/table.h"
+
+namespace sharing {
+
+class DimensionHashTable {
+ public:
+  struct Entry {
+    std::vector<uint8_t> row;  // projected dimension tuple
+    QuerySet bits;
+  };
+
+  /// `dim`: the dimension table; `pk_col`: its key column;
+  /// `max_queries`: pipeline bitmap capacity.
+  DimensionHashTable(const Table* dim, std::size_t pk_col,
+                     std::size_t max_queries);
+
+  SHARING_DISALLOW_COPY_AND_MOVE(DimensionHashTable);
+
+  const Table* dim_table() const { return dim_; }
+  std::size_t pk_col() const { return pk_col_; }
+
+  /// Admits query `bit`: scans the dimension table, and for every tuple
+  /// satisfying `predicate` sets the query's bit (inserting the entry with
+  /// row = `projection` columns if absent).
+  ///
+  /// Entries inserted by different queries may project different columns;
+  /// CJOIN handles this by storing the union row: the entry's row is the
+  /// full dimension tuple, and per-query projections are applied at
+  /// distribution time. (We store the full row for exactly that reason.)
+  Status AdmitQuery(std::size_t bit, const Expr& predicate);
+
+  /// Removes query `bit` from all entries; entries whose bitmap becomes
+  /// empty are erased (the paper's bookkeeping on query departure).
+  void RemoveQuery(std::size_t bit);
+
+  /// Probe by key. Returns nullptr on miss. The returned entry stays valid
+  /// until the next exclusive-mode mutation (callers hold the shared epoch
+  /// lock across a page batch).
+  const Entry* Probe(int64_t key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second.get();
+  }
+
+  /// Bits of active queries that do NOT use this dimension; maintained by
+  /// the pipeline on admission/removal.
+  const QuerySet& neutral_bits() const { return neutral_; }
+  QuerySet* mutable_neutral_bits() { return &neutral_; }
+
+  std::size_t NumEntries() const { return entries_.size(); }
+
+ private:
+  const Table* dim_;
+  std::size_t pk_col_;
+  std::size_t max_queries_;
+  QuerySet neutral_;
+  std::unordered_map<int64_t, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace sharing

@@ -1,0 +1,202 @@
+// CJoinPipeline: the Global Query Plan operator (CJOIN, VLDBJ'11), as
+// integrated into QPipe by the demo paper (Fig. 2).
+//
+// One always-on pipeline evaluates the star joins of every concurrent
+// query:
+//
+//   preprocessor ──► shared hash-join chain (one level per dimension)
+//        │                       │ bitwise AND of query bitmaps
+//        ▼                       ▼
+//   circular scan of the    distributor: routes each surviving joined
+//   fact table; admission   tuple to the queries whose bit is set
+//   marks on the cursor
+//
+// Query admission is *mark-based*: a query becomes active at the current
+// scan position and completes when the scan has delivered exactly
+// `num_fact_pages` pages to it (one full cycle, no pipeline flush).
+// Admissions are applied by the driver between page dispatches under an
+// exclusive epoch lock; queries arriving together are admitted in one
+// epoch, which is what makes client-side batching amortize admission cost
+// (Scenario IV / Ablation D).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cjoin/dimension_table.h"
+#include "cjoin/star_query.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/exec_context.h"
+#include "exec/page_stream.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace sharing {
+
+struct CJoinOptions {
+  /// Bitmap capacity == max concurrently admitted queries. Admissions
+  /// beyond this wait for a free bit.
+  std::size_t max_queries = 64;
+
+  /// Page-processing worker threads (the pipeline's intra-operator
+  /// parallelism).
+  std::size_t workers = 2;
+
+  /// Fact pages in flight at once (prefetch window of the circular scan).
+  std::size_t max_in_flight_pages = 4;
+};
+
+/// One shared hash-join level: which dimension it joins and through which
+/// fact foreign key.
+struct CJoinLevelSpec {
+  std::string dim_table;
+  std::size_t fk_col_in_fact = 0;
+  std::size_t pk_col_in_dim = 0;
+};
+
+class CJoinPipeline {
+ public:
+  /// The pipeline is built once for a star schema: the fact table plus one
+  /// level per dimension (queries may use any subset of the levels).
+  CJoinPipeline(Catalog* catalog, const std::string& fact_table,
+                std::vector<CJoinLevelSpec> levels, CJoinOptions options,
+                MetricsRegistry* metrics = &MetricsRegistry::Global());
+  ~CJoinPipeline();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(CJoinPipeline);
+
+  /// Admits `spec` and blocks until the query has seen one full cycle of
+  /// the fact table. Results (pages of spec.OutputSchema()) stream into
+  /// `sink`, which is closed with the query's terminal status.
+  Status ExecuteQuery(const StarQuerySpec& spec, ExecContextRef ctx,
+                      PageSinkRef sink);
+
+  const std::string& fact_table_name() const { return fact_->name(); }
+  const Table* fact_table() const { return fact_; }
+
+  std::size_t ActiveQueries() const {
+    return active_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Level {
+    CJoinLevelSpec spec;
+    std::size_t fk_offset = 0;  // byte offset of the fk in the fact row
+    std::unique_ptr<DimensionHashTable> ht;
+    std::size_t live_queries = 0;  // active queries joining this level
+  };
+
+  /// Row-assembly instruction: copy `width` bytes from the fact row
+  /// (level < 0) or the matched entry of `level` into the output row.
+  struct CopyOp {
+    int level = -1;
+    std::size_t src_off = 0;
+    std::size_t dst_off = 0;
+    std::size_t width = 0;
+  };
+
+  struct ActiveQuery {
+    StarQuerySpec spec;
+    ExecContextRef ctx;
+    PageSinkRef sink;
+    Schema output_schema;
+    std::vector<CopyOp> copy_ops;
+    std::vector<std::size_t> levels_used;  // pipeline level indices
+    bool trivial_fact_pred = false;
+
+    std::size_t bit = 0;
+    std::atomic<int64_t> pages_remaining{0};
+
+    /// Driver-thread-only: page tasks still to be dispatched to this
+    /// query. A query appears in exactly `num_fact_pages` task snapshots
+    /// (its one full circular-scan cycle); afterwards it leaves the
+    /// dispatch list but stays admitted until the last task completes.
+    int64_t dispatches_left = 0;
+    std::atomic<bool> muted{false};  // cancelled or consumer gone
+
+    std::mutex emit_mutex;
+    std::shared_ptr<RowPage> builder;
+
+    /// Set (once) when the circular fact scan hits an I/O failure while
+    /// this query is still owed pages; the query completes with it.
+    std::mutex fail_mutex;
+    Status fail_status;
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    Status final_status;
+  };
+  using ActiveQueryRef = std::shared_ptr<ActiveQuery>;
+
+  /// Snapshot handed to a page-processing task.
+  struct PageTask {
+    PageGuard guard;
+    std::vector<ActiveQueryRef> queries;
+  };
+
+  StatusOr<ActiveQueryRef> BuildActiveQuery(const StarQuerySpec& spec,
+                                            ExecContextRef ctx,
+                                            PageSinkRef sink) const;
+
+  void DriverLoop();
+  void AdmitPending();
+  void ProcessPage(std::shared_ptr<PageTask> task);
+  void FinalizeQuery(const ActiveQueryRef& q, Status final);
+  void SignalDone(const ActiveQueryRef& q, Status final);
+
+  Catalog* catalog_;
+  Table* fact_;
+  CJoinOptions options_;
+  MetricsRegistry* metrics_;
+  Counter* fact_tuples_in_;
+  Counter* tuples_out_;
+  Counter* tuples_dropped_;
+  Counter* queries_admitted_;
+  Counter* queries_completed_;
+  Counter* bitmap_and_ops_;
+  Counter* admission_epochs_;
+  Counter* admission_micros_;
+
+  std::vector<Level> levels_;
+  std::size_t bitmap_words_;
+
+  // Epoch lock: shared while probing pages, exclusive for admission /
+  // departure (hash-table and bitmap mutations).
+  std::shared_mutex epoch_mutex_;
+  std::vector<ActiveQueryRef> active_;
+  std::vector<ActiveQueryRef> slots_;  // bit -> query
+  std::vector<std::size_t> free_bits_;
+  std::atomic<std::size_t> active_count_{0};
+
+  // Driver state.
+  std::mutex driver_mutex_;
+  std::condition_variable driver_cv_;
+  std::deque<ActiveQueryRef> pending_;
+  uint64_t cursor_ = 0;
+  bool shutdown_ = false;
+
+  /// Queries still owed page dispatches. Owned by the driver thread
+  /// exclusively (no locking needed).
+  std::vector<ActiveQueryRef> dispatching_;
+
+  // In-flight page window.
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
+
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread driver_;
+};
+
+}  // namespace sharing

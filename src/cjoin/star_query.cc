@@ -1,0 +1,181 @@
+#include "cjoin/star_query.h"
+
+#include "common/logging.h"
+
+namespace sharing {
+
+std::vector<int> StarQuerySpec::NormalizedOrder() const {
+  if (!output_order.empty()) return output_order;
+  std::vector<int> order;
+  order.reserve(dims.size() + 1);
+  order.push_back(-1);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    order.push_back(static_cast<int>(i));
+  }
+  return order;
+}
+
+std::string StarQuerySpec::Canonical() const {
+  std::string out = "cjoin(" + fact_table + ",";
+  out += fact_predicate ? fact_predicate->Canonical() : "true";
+  out += ",fproj[";
+  for (std::size_t i = 0; i < fact_projection.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(fact_projection[i]);
+  }
+  out += "]";
+  for (const auto& d : dims) {
+    out += ",dim(" + d.dim_table + ",fk=" + std::to_string(d.fk_col_in_fact) +
+           ",pk=" + std::to_string(d.pk_col_in_dim) + ",";
+    out += d.predicate ? d.predicate->Canonical() : "true";
+    out += ",proj[";
+    for (std::size_t i = 0; i < d.projection.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(d.projection[i]);
+    }
+    out += "])";
+  }
+  out += ",order[";
+  auto order = NormalizedOrder();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(order[i]);
+  }
+  out += "])";
+  return out;
+}
+
+StatusOr<Schema> StarQuerySpec::OutputSchema(const Catalog& catalog) const {
+  Table* fact;
+  SHARING_ASSIGN_OR_RETURN(fact, catalog.GetTable(fact_table));
+  std::vector<Column> cols;
+  for (int block : NormalizedOrder()) {
+    if (block < 0) {
+      for (auto c : fact_projection) {
+        if (c >= fact->schema().num_columns()) {
+          return Status::InvalidArgument("fact projection out of range");
+        }
+        cols.push_back(fact->schema().column(c));
+      }
+    } else {
+      if (static_cast<std::size_t>(block) >= dims.size()) {
+        return Status::InvalidArgument("output_order block out of range");
+      }
+      const StarDim& d = dims[block];
+      Table* dim;
+      SHARING_ASSIGN_OR_RETURN(dim, catalog.GetTable(d.dim_table));
+      for (auto c : d.projection) {
+        if (c >= dim->schema().num_columns()) {
+          return Status::InvalidArgument("dim projection out of range");
+        }
+        cols.push_back(dim->schema().column(c));
+      }
+    }
+  }
+  // Resolve duplicate column names the same way Schema::Concat does, so a
+  // derived spec's schema matches the join tree's output schema exactly.
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (cols[j].name == cols[i].name) {
+        cols[i].name = "r_" + cols[i].name;
+        break;
+      }
+    }
+  }
+  return Schema(std::move(cols));
+}
+
+namespace {
+
+struct ParseState {
+  StarQuerySpec spec;
+  // Column-count prefix per output block of the subtree parsed so far,
+  // in subtree output order (NOT spec order).
+  // blocks[i] = {block id (-1 fact / dim index), num columns}.
+  std::vector<std::pair<int, std::size_t>> blocks;
+};
+
+Status ParseStar(const PlanNode& node, const std::string& fact_table,
+                 ParseState* state) {
+  if (node.kind() == PlanKind::kScan) {
+    const auto& scan = static_cast<const ScanNode&>(node);
+    if (scan.table_name() != fact_table) {
+      return Status::InvalidArgument("innermost scan is not the fact table");
+    }
+    state->spec.fact_table = fact_table;
+    state->spec.fact_predicate = scan.predicate();
+    state->spec.fact_projection = scan.projection();
+    state->blocks.emplace_back(-1, scan.projection().size());
+    return Status::OK();
+  }
+  if (node.kind() != PlanKind::kJoin) {
+    return Status::InvalidArgument("star sub-plan may only contain joins "
+                                   "over scans");
+  }
+  const auto& join = static_cast<const JoinNode&>(node);
+  if (join.build()->kind() != PlanKind::kScan) {
+    return Status::InvalidArgument("join build side must be a dimension scan");
+  }
+  const auto& dim_scan = static_cast<const ScanNode&>(*join.build());
+  if (dim_scan.table_name() == fact_table) {
+    return Status::InvalidArgument("fact table on the build side");
+  }
+
+  // Parse the probe side first (it holds the fact scan and inner dims).
+  SHARING_RETURN_NOT_OK(ParseStar(*join.probe(), fact_table, state));
+
+  StarDim dim;
+  dim.dim_table = dim_scan.table_name();
+  dim.predicate = dim_scan.predicate();
+  dim.projection = dim_scan.projection();
+  if (join.build_key() >= dim_scan.projection().size()) {
+    return Status::InvalidArgument("build key outside dim projection");
+  }
+  dim.pk_col_in_dim = dim_scan.projection()[join.build_key()];
+
+  // The probe key indexes the probe subtree's concatenated output; it must
+  // land in the fact block for this to be a star join.
+  std::size_t remaining = join.probe_key();
+  bool resolved = false;
+  for (const auto& [block, ncols] : state->blocks) {
+    if (remaining < ncols) {
+      if (block != -1) {
+        return Status::InvalidArgument(
+            "probe key joins through a dimension (snowflake, not star)");
+      }
+      dim.fk_col_in_fact = state->spec.fact_projection[remaining];
+      resolved = true;
+      break;
+    }
+    remaining -= ncols;
+  }
+  if (!resolved) {
+    return Status::InvalidArgument("probe key out of range");
+  }
+
+  state->spec.dims.push_back(std::move(dim));
+  // Join output order: build block first, then the probe subtree's blocks.
+  state->blocks.insert(
+      state->blocks.begin(),
+      {static_cast<int>(state->spec.dims.size()) - 1,
+       dim_scan.projection().size()});
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<StarQuerySpec> StarQueryFromPlan(const PlanNode& root,
+                                          const std::string& fact_table) {
+  if (root.kind() != PlanKind::kJoin) {
+    return Status::InvalidArgument("star plan must be rooted at a join");
+  }
+  ParseState state;
+  SHARING_RETURN_NOT_OK(ParseStar(root, fact_table, &state));
+  state.spec.output_order.reserve(state.blocks.size());
+  for (const auto& [block, ncols] : state.blocks) {
+    state.spec.output_order.push_back(block);
+  }
+  return state.spec;
+}
+
+}  // namespace sharing

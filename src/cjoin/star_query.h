@@ -1,0 +1,67 @@
+// StarQuerySpec: the canonical description of a star query as admitted to
+// the CJOIN pipeline.
+//
+// CJOIN evaluates SELECT-PROJECT-JOIN star sub-plans: a fact table joined
+// with a set of dimension tables via foreign keys, with per-table selection
+// predicates and projections. A spec can be authored directly, or derived
+// from a query-centric left-deep join plan (StarQueryFromPlan) so the same
+// PlanNode tree can run on either engine — the spec reproduces the join
+// tree's exact output column order, letting the aggregation above consume
+// both engines' output interchangeably.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "exec/plan.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace sharing {
+
+/// One dimension clause of a star query. All column indices refer to the
+/// *table* schemas (not projected outputs).
+struct StarDim {
+  std::string dim_table;
+  std::size_t fk_col_in_fact = 0;  // fact column holding the foreign key
+  std::size_t pk_col_in_dim = 0;   // dimension's (unique) key column
+  ExprRef predicate;               // selection over the dimension schema
+  std::vector<std::size_t> projection;  // dimension columns in the output
+};
+
+struct StarQuerySpec {
+  std::string fact_table;
+  ExprRef fact_predicate;                    // selection over the fact schema
+  std::vector<std::size_t> fact_projection;  // fact columns in the output
+  std::vector<StarDim> dims;
+
+  /// Output block order: -1 emits the fact projection block, i >= 0 emits
+  /// dims[i]'s projection block. Derived plans use this to replicate the
+  /// join tree's column order; hand-written specs may leave it empty
+  /// (meaning: fact block, then dims in order).
+  std::vector<int> output_order;
+
+  /// Stable canonical rendering — the SP signature of the CJOIN sub-plan
+  /// (two specs share work iff these match).
+  std::string Canonical() const;
+  uint64_t Signature() const { return HashCanonical(Canonical()); }
+
+  /// Output schema given the catalog (fact/dim schemas are looked up).
+  StatusOr<Schema> OutputSchema(const Catalog& catalog) const;
+
+  /// output_order normalized (empty => [-1, 0, 1, ...]).
+  std::vector<int> NormalizedOrder() const;
+};
+
+/// Attempts to interpret a plan subtree as a star query:
+/// left-deep chain of hash joins whose build sides are dimension scans and
+/// whose innermost probe side is a scan of `fact_table`. Returns
+/// InvalidArgument when the tree has any other shape (caller falls back to
+/// query-centric evaluation).
+StatusOr<StarQuerySpec> StarQueryFromPlan(const PlanNode& root,
+                                          const std::string& fact_table);
+
+}  // namespace sharing

@@ -1,0 +1,17 @@
+#include "common/bitvector.h"
+
+namespace sharing {
+
+std::string QuerySet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEachSetBit([&](std::size_t bit) {
+    if (!first) out += ",";
+    out += std::to_string(bit);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace sharing

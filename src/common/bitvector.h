@@ -1,0 +1,163 @@
+// QuerySet: the bitmap that correlates tuples to queries in a Global Query
+// Plan (paper Figure 1b).
+//
+// CJOIN annotates every fact tuple with a QuerySet whose bit q means "this
+// tuple is still relevant to query q". Shared hash-joins AND the fact
+// tuple's set with the matching dimension tuple's set; a tuple whose set
+// becomes empty is dropped. The capacity is fixed at pipeline construction
+// (the paper's CJOIN does the same: the bitmap width bounds concurrent
+// admitted queries).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace sharing {
+
+class QuerySet {
+ public:
+  QuerySet() = default;
+
+  /// Creates an empty set able to hold bits [0, capacity).
+  explicit QuerySet(std::size_t capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64, 0) {}
+
+  /// Creates a set with bits [0, capacity) all set.
+  static QuerySet AllSet(std::size_t capacity) {
+    QuerySet s(capacity);
+    for (std::size_t i = 0; i < s.words_.size(); ++i) s.words_[i] = ~0ull;
+    s.ClearTailBits();
+    return s;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  void Set(std::size_t bit) {
+    SHARING_DCHECK(bit < capacity_);
+    words_[bit >> 6] |= (1ull << (bit & 63));
+  }
+
+  void Clear(std::size_t bit) {
+    SHARING_DCHECK(bit < capacity_);
+    words_[bit >> 6] &= ~(1ull << (bit & 63));
+  }
+
+  bool Test(std::size_t bit) const {
+    SHARING_DCHECK(bit < capacity_);
+    return (words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  void Reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// In-place intersection; the core operation of shared hash-joins.
+  /// Returns true iff the result is non-empty (short-circuit for routing).
+  bool IntersectWith(const QuerySet& other) {
+    SHARING_DCHECK(capacity_ == other.capacity_);
+    uint64_t any = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+      any |= words_[i];
+    }
+    return any != 0;
+  }
+
+  /// In-place union (used when admitting batches of queries).
+  void UnionWith(const QuerySet& other) {
+    SHARING_DCHECK(capacity_ == other.capacity_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  /// Removes every bit present in `other` (query completion).
+  void SubtractAll(const QuerySet& other) {
+    SHARING_DCHECK(capacity_ == other.capacity_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+  }
+
+  bool Any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool None() const { return !Any(); }
+
+  std::size_t Count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Invokes `fn(bit_index)` for every set bit, ascending. This is how the
+  /// CJOIN distributor fans a joined tuple out to its queries.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(w));
+        fn(wi * 64 + tz);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Raw word access for serializing into tuple payloads.
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+
+  bool operator==(const QuerySet& other) const {
+    return capacity_ == other.capacity_ && words_ == other.words_;
+  }
+
+  /// E.g. "{0,3,17}".
+  std::string ToString() const;
+
+ private:
+  void ClearTailBits() {
+    std::size_t tail = capacity_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (1ull << tail) - 1;
+    }
+  }
+
+  std::size_t capacity_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+// ---------------------------------------------------------------------------
+// Fixed-width bitmap view over raw memory. Hot paths (shared hash-join
+// probes) operate on bitmaps embedded in tuple payloads without
+// materializing a QuerySet.
+// ---------------------------------------------------------------------------
+
+/// ANDs `n_words` of `src` into `dst`, returning true iff the result has any
+/// set bit.
+inline bool BitmapAndInPlace(uint64_t* dst, const uint64_t* src,
+                             std::size_t n_words) {
+  uint64_t any = 0;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    dst[i] &= src[i];
+    any |= dst[i];
+  }
+  return any != 0;
+}
+
+inline bool BitmapAny(const uint64_t* words, std::size_t n_words) {
+  for (std::size_t i = 0; i < n_words; ++i)
+    if (words[i]) return true;
+  return false;
+}
+
+}  // namespace sharing

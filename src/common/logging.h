@@ -1,0 +1,85 @@
+// Minimal leveled logging and assertion facilities.
+//
+// SHARING_CHECK(cond) aborts in all builds; SHARING_DCHECK(cond) aborts in
+// debug builds only. Logging goes to stderr and can be silenced globally
+// (benchmarks do this to keep the measurement loop clean).
+
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sharing {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// A LogMessage that aborts the process in its destructor.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kFatal, file, line) {}
+  [[noreturn]] ~FatalLogMessage();
+};
+
+struct Voidify {
+  // Lowest-precedence operator to swallow the stream expression.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define SHARING_LOG_INTERNAL(level)                                       \
+  ::sharing::internal::LogMessage(::sharing::LogLevel::level, __FILE__, \
+                                  __LINE__)                               \
+      .stream()
+
+#define SHARING_LOG(level) SHARING_LOG_INTERNAL(k##level)
+
+#define SHARING_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                          \
+         : ::sharing::internal::Voidify() &                                 \
+               ::sharing::internal::FatalLogMessage(__FILE__, __LINE__)     \
+                   .stream()                                                \
+               << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+// Compiles (no unused-variable warnings) but never evaluates `cond`.
+#define SHARING_DCHECK(cond) \
+  while (false) SHARING_CHECK(cond)
+#else
+#define SHARING_DCHECK(cond) SHARING_CHECK(cond)
+#endif
+
+#define SHARING_CHECK_OK(expr)                            \
+  do {                                                    \
+    ::sharing::Status _st = (expr);                       \
+    SHARING_CHECK(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+}  // namespace sharing

@@ -1,0 +1,36 @@
+// Common macros used across the sharing engine.
+//
+// Follows the Google C++ style guide conventions used by this codebase:
+// macros are reserved for things the language cannot express (branch hints,
+// copy-control boilerplate, hardware constants).
+
+#pragma once
+
+#include <cstddef>
+
+// Deletes copy construction/assignment. Place in the public section.
+#define SHARING_DISALLOW_COPY(TypeName)  \
+  TypeName(const TypeName&) = delete;    \
+  TypeName& operator=(const TypeName&) = delete
+
+// Deletes copy and move construction/assignment.
+#define SHARING_DISALLOW_COPY_AND_MOVE(TypeName) \
+  SHARING_DISALLOW_COPY(TypeName);               \
+  TypeName(TypeName&&) = delete;                 \
+  TypeName& operator=(TypeName&&) = delete
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SHARING_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SHARING_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define SHARING_LIKELY(x) (x)
+#define SHARING_UNLIKELY(x) (x)
+#endif
+
+namespace sharing {
+
+// Size of a destructive-interference-free region. Used to pad hot atomics
+// that would otherwise false-share (e.g. SPL producer/consumer cursors).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace sharing

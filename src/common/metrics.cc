@@ -1,0 +1,94 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sharing {
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& bucket : counts_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  int64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  int64_t total = TotalCount();
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank is 1-based so q=1.0 lands in the last non-empty bucket.
+  int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Geometric middle of [2^b, 2^(b+1)).
+      if (b >= 62) return int64_t{1} << 62;
+      int64_t lo = int64_t{1} << b;
+      return lo + lo / 2;
+    }
+  }
+  return 0;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << "count=" << TotalCount() << " mean=" << Mean()
+      << " p50=" << ValueAtQuantile(0.5) << " p95=" << ValueAtQuantile(0.95)
+      << " p99=" << ValueAtQuantile(0.99);
+  return out.str();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap[name] = counter->Get();
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    int64_t base = it == before.end() ? 0 : it->second;
+    delta[name] = value - base;
+  }
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace sharing

@@ -1,0 +1,135 @@
+// Engine-wide metrics: named monotonic counters grouped in a registry.
+//
+// The demo's GUI surfaces system measurements next to every plot (CPU
+// times, SP opportunities exploited per stage, pages copied vs shared,
+// buffer-pool hits). Components increment counters through a
+// MetricsRegistry; benchmarks snapshot-and-diff around measurement windows.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sharing {
+
+/// A single monotonic counter. Thread-safe, relaxed ordering (metrics are
+/// advisory, never used for synchronization).
+class Counter {
+ public:
+  Counter() = default;
+  SHARING_DISALLOW_COPY_AND_MOVE(Counter);
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A lock-free log-bucketed histogram for latency-style measurements.
+/// Values are bucketed by power-of-two magnitude (64 buckets cover the
+/// whole int64 range), so Record is one CLZ plus one relaxed fetch_add and
+/// percentile queries are accurate to within a factor of two — plenty for
+/// the order-of-magnitude latency comparisons the scenarios report.
+class Histogram {
+ public:
+  Histogram() = default;
+  SHARING_DISALLOW_COPY_AND_MOVE(Histogram);
+
+  void Record(int64_t value) {
+    counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  int64_t TotalCount() const;
+
+  /// Mean of recorded values (0 when empty).
+  double Mean() const;
+
+  /// Value at quantile `q` in [0,1], approximated by the geometric middle
+  /// of the bucket containing it. Returns 0 when empty.
+  int64_t ValueAtQuantile(double q) const;
+
+  /// "count=N mean=M p50=.. p95=.. p99=.." (values in recorded units).
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+
+  static int BucketFor(int64_t value) {
+    if (value <= 0) return 0;
+    return 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  }
+
+  std::atomic<int64_t> counts_[kBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// A point-in-time copy of all counters in a registry.
+using MetricsSnapshot = std::map<std::string, int64_t>;
+
+/// Named counter registry. Counter objects are stable: a returned pointer
+/// remains valid for the registry's lifetime, so hot paths can cache it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  SHARING_DISALLOW_COPY_AND_MOVE(MetricsRegistry);
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use. Pointers are stable for the registry's lifetime.
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Returns per-counter deltas `after - before` (counters absent from
+  /// `before` count from zero).
+  static MetricsSnapshot Delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+  /// Zeroes nothing (counters are monotonic); use Snapshot/Delta to scope
+  /// measurements. Provided for tests that want a fresh registry instead.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Canonical metric names used across modules, so benchmarks and tests can
+// reference them without typo risk.
+namespace metrics {
+inline constexpr const char* kBufferPoolHits = "bufferpool.hits";
+inline constexpr const char* kBufferPoolMisses = "bufferpool.misses";
+inline constexpr const char* kBufferPoolEvictions = "bufferpool.evictions";
+inline constexpr const char* kDiskPageReads = "disk.page_reads";
+inline constexpr const char* kDiskPageWrites = "disk.page_writes";
+inline constexpr const char* kScanPagesRead = "scan.pages_read";
+inline constexpr const char* kScanSharedAttach = "scan.shared_attach";
+inline constexpr const char* kSpOpportunities = "sp.opportunities";
+inline constexpr const char* kSpPagesCopied = "sp.pages_copied";
+inline constexpr const char* kSpPagesShared = "sp.pages_shared";
+inline constexpr const char* kSpBytesCopied = "sp.bytes_copied";
+inline constexpr const char* kCjoinFactTuplesIn = "cjoin.fact_tuples_in";
+inline constexpr const char* kCjoinTuplesOut = "cjoin.tuples_out";
+inline constexpr const char* kCjoinTuplesDropped = "cjoin.tuples_dropped";
+inline constexpr const char* kCjoinQueriesAdmitted = "cjoin.queries_admitted";
+inline constexpr const char* kCjoinQueriesCompleted = "cjoin.queries_completed";
+inline constexpr const char* kCjoinBitmapAndOps = "cjoin.bitmap_and_ops";
+inline constexpr const char* kCjoinAdmissionEpochs = "cjoin.admission_epochs";
+inline constexpr const char* kCjoinAdmissionMicros = "cjoin.admission_micros";
+inline constexpr const char* kQueriesFinished = "engine.queries_finished";
+}  // namespace metrics
+
+}  // namespace sharing

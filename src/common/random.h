@@ -1,0 +1,60 @@
+// Deterministic random generators for data generation and workload
+// parameterization (uniform, alpha strings, zipfian skew).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+/// xoshiro256** — fast, high-quality, seedable; one instance per generator
+/// thread so data generation is reproducible and parallelizable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double UniformDouble();
+
+  /// Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Random uppercase-alpha string of exactly `len` characters.
+  std::string AlphaString(std::size_t len);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian distribution over [0, n) with skew theta (0 = uniform-ish,
+/// ~0.99 = classic YCSB skew). Used for skewed query-template popularity.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace sharing

@@ -1,0 +1,47 @@
+// Tiny test-and-test-and-set spinlock for very short critical sections
+// (circular-scan cursor bumps, metrics counters).
+
+#pragma once
+
+#include <atomic>
+
+#include "common/macros.h"
+
+namespace sharing {
+
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SHARING_DISALLOW_COPY_AND_MOVE(SpinLatch);
+
+  void Lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  SHARING_DISALLOW_COPY_AND_MOVE(SpinLatchGuard);
+
+ private:
+  SpinLatch& latch_;
+};
+
+}  // namespace sharing

@@ -1,0 +1,79 @@
+// StatusOr<T>: a value or the Status explaining why there is none.
+
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace sharing {
+
+/// Holds either a T or a non-OK Status. `value()` aborts with the carried
+/// status when the status is not OK — in every build type, because silently
+/// reading the empty optional is memory-unsafe. The unchecked accessors
+/// (operator* / operator->) assert only in debug builds; use them on paths
+/// that have already tested ok().
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: the common success path reads naturally
+  /// (`return some_value;`).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Constructing from an OK status without a
+  /// value is a programming error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SHARING_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    SHARING_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    SHARING_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SHARING_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & {
+    SHARING_DCHECK(ok());
+    return *value_;
+  }
+  const T& operator*() const& {
+    SHARING_DCHECK(ok());
+    return *value_;
+  }
+  T* operator->() {
+    SHARING_DCHECK(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    SHARING_DCHECK(ok());
+    return &*value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Unwraps a StatusOr expression into `lhs`, propagating errors.
+#define SHARING_ASSIGN_OR_RETURN(lhs, expr)               \
+  do {                                                    \
+    auto _status_or = (expr);                             \
+    if (SHARING_UNLIKELY(!_status_or.ok()))               \
+      return _status_or.status();                         \
+    lhs = std::move(_status_or).value();                  \
+  } while (0)
+
+}  // namespace sharing

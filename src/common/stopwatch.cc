@@ -1,0 +1,16 @@
+#include "common/stopwatch.h"
+
+#include <sys/resource.h>
+
+namespace sharing {
+
+double ProcessCpuSeconds() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  auto to_sec = [](const timeval& tv) {
+    return double(tv.tv_sec) + double(tv.tv_usec) * 1e-6;
+  };
+  return to_sec(usage.ru_utime) + to_sec(usage.ru_stime);
+}
+
+}  // namespace sharing

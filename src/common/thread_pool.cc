@@ -1,0 +1,32 @@
+#include "common/thread_pool.h"
+
+namespace sharing {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace sharing

@@ -1,0 +1,51 @@
+// Fixed-size worker pool. QPipe gives each stage a local pool; the client
+// driver uses one for closed-loop query submission.
+
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/concurrent_queue.h"
+#include "common/macros.h"
+
+namespace sharing {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers; pending tasks are still executed.
+  ~ThreadPool();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  /// Schedules a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Schedules a task and returns a future for its completion.
+  template <typename Fn>
+  auto SubmitWithFuture(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    Submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Stops accepting tasks, runs what is queued, joins workers. Idempotent.
+  void Shutdown();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  ConcurrentQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sharing

@@ -1,0 +1,127 @@
+#include "common/types.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kDate:
+      return "date";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::size_t FixedWidthOf(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return 8;
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kDate:
+      return 4;
+    case ValueType::kString:
+      return 0;  // declared per column
+  }
+  return 0;
+}
+
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+int DaysInYear(int year) { return IsLeapYear(year) ? 366 : 365; }
+
+}  // namespace
+
+Date MakeDate(int year, int month, int day) {
+  SHARING_DCHECK(year >= kDateEpochYear && year < 2200);
+  SHARING_DCHECK(month >= 1 && month <= 12);
+  SHARING_DCHECK(day >= 1 && day <= DaysInMonth(year, month));
+  int32_t days = 0;
+  for (int y = kDateEpochYear; y < year; ++y) days += DaysInYear(y);
+  for (int m = 1; m < month; ++m) days += DaysInMonth(year, m);
+  days += day - 1;
+  return Date{days};
+}
+
+void SplitDate(Date date, int* year, int* month, int* day) {
+  int32_t days = date.days_since_epoch;
+  SHARING_DCHECK(days >= 0);
+  int y = kDateEpochYear;
+  while (days >= DaysInYear(y)) {
+    days -= DaysInYear(y);
+    ++y;
+  }
+  int m = 1;
+  while (days >= DaysInMonth(y, m)) {
+    days -= DaysInMonth(y, m);
+    ++m;
+  }
+  *year = y;
+  *month = m;
+  *day = days + 1;
+}
+
+int32_t DateKey(Date date) {
+  int y, m, d;
+  SplitDate(date, &y, &m, &d);
+  return y * 10000 + m * 100 + d;
+}
+
+std::string DateToString(Date date) {
+  int y, m, d;
+  SplitDate(date, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+ValueType TypeOfValue(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return ValueType::kInt64;
+    case 1:
+      return ValueType::kDouble;
+    case 2:
+      return ValueType::kDate;
+    default:
+      return ValueType::kString;
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v));
+      return buf;
+    }
+    case 2:
+      return DateToString(std::get<Date>(v));
+    default:
+      return "'" + std::get<std::string>(v) + "'";
+  }
+}
+
+}  // namespace sharing

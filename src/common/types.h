@@ -1,0 +1,71 @@
+// Value types shared by the schema/tuple layer and the expression
+// evaluator.
+//
+// The engine stores fixed-width rows: 64-bit integers, doubles, 32-bit
+// dates (days since 1992-01-01, the TPC-H/SSB epoch) and fixed-length
+// char fields. This covers every column of TPC-H `lineitem` and the full
+// Star Schema Benchmark.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace sharing {
+
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kDate = 2,    // stored as int32 days since kDateEpoch
+  kString = 3,  // fixed-length, space padded
+};
+
+/// Returns "int64" / "double" / "date" / "string".
+std::string_view ValueTypeToString(ValueType type);
+
+/// Fixed on-disk width of a value of `type`; strings take their declared
+/// column width (handled by the schema).
+std::size_t FixedWidthOf(ValueType type);
+
+// ---------------------------------------------------------------------------
+// Dates. SSB's date dimension spans 1992-01-01 .. 1998-12-31 (2556 days),
+// as does TPC-H's order/ship date domain.
+// ---------------------------------------------------------------------------
+
+struct Date {
+  int32_t days_since_epoch = 0;
+
+  bool operator==(const Date&) const = default;
+  auto operator<=>(const Date&) const = default;
+};
+
+inline constexpr int kDateEpochYear = 1992;
+
+/// Builds a Date from a calendar date. Valid for years 1992..2199.
+Date MakeDate(int year, int month, int day);
+
+/// Splits a Date back into calendar fields.
+void SplitDate(Date date, int* year, int* month, int* day);
+
+/// Returns yyyymmdd as an integer key (SSB's d_datekey format).
+int32_t DateKey(Date date);
+
+/// Formats as "YYYY-MM-DD".
+std::string DateToString(Date date);
+
+// ---------------------------------------------------------------------------
+// Runtime values: used at plan-construction and expression boundaries
+// (per-tuple hot paths use typed accessors on raw rows instead).
+// ---------------------------------------------------------------------------
+
+using Value = std::variant<int64_t, double, Date, std::string>;
+
+/// Type tag of a runtime value.
+ValueType TypeOfValue(const Value& v);
+
+/// Human-readable rendering, used in plan signatures and debug output.
+std::string ValueToString(const Value& v);
+
+}  // namespace sharing

@@ -1,0 +1,98 @@
+#include "core/sharing_engine.h"
+
+#include "common/logging.h"
+
+namespace sharing {
+
+std::string_view EngineModeToString(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kQueryCentric:
+      return "query-centric";
+    case EngineMode::kSpPush:
+      return "sp-push";
+    case EngineMode::kSpPull:
+      return "sp-pull";
+    case EngineMode::kGqp:
+      return "gqp";
+    case EngineMode::kGqpSp:
+      return "gqp+sp";
+  }
+  return "?";
+}
+
+SharingEngine::SharingEngine(Database* db, EngineConfig config)
+    : db_(db), config_(std::move(config)) {
+  QPipeOptions qopts;
+  qopts.shared_scans = config_.shared_scans;
+  qopts.stage_workers = config_.stage_workers;
+  qopts.stage_max_workers = config_.stage_max_workers;
+  qopts.fifo_capacity = config_.fifo_capacity;
+  qpipe_ = std::make_unique<QPipeEngine>(db_->catalog(), qopts,
+                                         db_->metrics());
+
+  if (!config_.fact_table.empty()) {
+    pipeline_ = std::make_unique<CJoinPipeline>(
+        db_->catalog(), config_.fact_table, config_.cjoin_levels,
+        config_.cjoin, db_->metrics());
+    Stage::Options sopts;
+    sopts.initial_workers = config_.stage_workers;
+    sopts.fifo_capacity = config_.fifo_capacity;
+    cjoin_stage_ = AttachCJoinToEngine(qpipe_.get(), pipeline_.get(), sopts);
+  }
+
+  SetMode(config_.mode);
+}
+
+SharingEngine::~SharingEngine() {
+  // QPipe stages (including the CJOIN stage) must drain before the
+  // pipeline they feed is torn down.
+  qpipe_.reset();
+  pipeline_.reset();
+}
+
+void SharingEngine::SetMode(EngineMode mode) {
+  config_.mode = mode;
+  const bool gqp = mode == EngineMode::kGqp || mode == EngineMode::kGqpSp;
+  SHARING_CHECK(!gqp || pipeline_ != nullptr)
+      << "GQP mode requires a CJOIN pipeline (set EngineConfig::fact_table)";
+
+  switch (mode) {
+    case EngineMode::kQueryCentric:
+      qpipe_->SetSpModeAllStages(SpMode::kOff);
+      break;
+    case EngineMode::kSpPush:
+      qpipe_->SetSpModeAllStages(SpMode::kPush);
+      break;
+    case EngineMode::kSpPull:
+    case EngineMode::kGqp:
+    case EngineMode::kGqpSp:
+      // The paper's scenarios II-IV enable SP for all stages on both
+      // engine configurations; pull mode is the improved SP.
+      qpipe_->SetSpModeAllStages(SpMode::kPull);
+      break;
+  }
+
+  if (cjoin_stage_ != nullptr) {
+    cjoin_stage_->SetSpMode(mode == EngineMode::kGqpSp ? SpMode::kPull
+                                                       : SpMode::kOff);
+  }
+
+  // Route star joins to CJOIN only in GQP modes.
+  if (pipeline_ != nullptr) {
+    if (gqp) {
+      auto stage = cjoin_stage_;
+      std::string fact = pipeline_->fact_table_name();
+      qpipe_->SetJoinDispatchHook(
+          [stage, fact](const PlanNodeRef& node,
+                        const ExecContextRef& ctx) -> PageSourceRef {
+            auto spec_or = StarQueryFromPlan(*node, fact);
+            if (!spec_or.ok()) return nullptr;
+            return stage->SubmitOrShare(node, ctx, /*make_inputs=*/{});
+          });
+    } else {
+      qpipe_->SetJoinDispatchHook(nullptr);
+    }
+  }
+}
+
+}  // namespace sharing

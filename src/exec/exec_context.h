@@ -1,0 +1,37 @@
+// Per-query execution context: cancellation and metrics plumbing.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/metrics.h"
+
+namespace sharing {
+
+class ExecContext {
+ public:
+  explicit ExecContext(uint64_t query_id = 0,
+                       MetricsRegistry* metrics = &MetricsRegistry::Global())
+      : query_id_(query_id), metrics_(metrics) {}
+
+  uint64_t query_id() const { return query_id_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Cooperative cancellation (paper Fig. 1a: a satellite query may cancel
+  /// mid-flight). Operators poll this between pages.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  uint64_t query_id_;
+  MetricsRegistry* metrics_;
+  std::atomic<bool> cancelled_{false};
+};
+
+using ExecContextRef = std::shared_ptr<ExecContext>;
+
+}  // namespace sharing

@@ -1,0 +1,109 @@
+// Expression trees: predicates and arithmetic over packed rows.
+//
+// Expressions are immutable, shared, and carry a *canonical form* string.
+// Canonical forms are the basis of SP's common-sub-plan detection: two scan
+// packets share work iff their plans — including every predicate — render
+// to the same canonical string (the paper: SP "is limited to common
+// sub-plans with identical predicates").
+//
+// Evaluation is virtual-dispatch per tuple with unboxed results
+// (EvalBool/EvalDouble/EvalInt64); boxing via Value is reserved for plan
+// construction and tests.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/tuple.h"
+
+namespace sharing {
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+std::string_view CmpOpToString(CmpOp op);
+std::string_view ArithOpToString(ArithOp op);
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,
+    kLiteral,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kArith,
+  };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Type of the expression's result. Boolean expressions report kInt64
+  /// (0/1).
+  ValueType output_type() const { return output_type_; }
+
+  /// Numeric evaluation. Valid when output_type is kInt64/kDouble/kDate.
+  virtual double EvalDouble(TupleRef row) const = 0;
+  virtual int64_t EvalInt64(TupleRef row) const = 0;
+
+  /// Boolean evaluation. Valid for predicates (kCompare/kAnd/kOr/kNot).
+  virtual bool EvalBool(TupleRef row) const;
+
+  /// String evaluation. Valid when output_type is kString.
+  virtual std::string_view EvalString(TupleRef row) const;
+
+  /// Stable canonical rendering; equal strings <=> identical expressions.
+  virtual std::string Canonical() const = 0;
+
+ protected:
+  Expr(Kind kind, ValueType output_type)
+      : kind_(kind), output_type_(output_type) {}
+
+ private:
+  Kind kind_;
+  ValueType output_type_;
+};
+
+// Factory functions (the public construction API).
+
+/// Reference to input column `index` of type `type`.
+ExprRef Col(std::size_t index, ValueType type);
+
+/// Convenience: resolves `name` against `schema`.
+ExprRef ColNamed(const Schema& schema, const std::string& name);
+
+/// Literal constant.
+ExprRef Lit(Value v);
+inline ExprRef Lit(int64_t v) { return Lit(Value(v)); }
+inline ExprRef Lit(double v) { return Lit(Value(v)); }
+inline ExprRef Lit(Date v) { return Lit(Value(v)); }
+inline ExprRef Lit(const char* v) { return Lit(Value(std::string(v))); }
+
+/// Comparison. Operand types must be compatible (numeric with numeric,
+/// date with date, string with string).
+ExprRef Cmp(CmpOp op, ExprRef lhs, ExprRef rhs);
+
+/// lo <= e AND e <= hi.
+ExprRef Between(ExprRef e, Value lo, Value hi);
+
+ExprRef And(std::vector<ExprRef> children);
+ExprRef And(ExprRef a, ExprRef b);
+ExprRef Or(std::vector<ExprRef> children);
+ExprRef Or(ExprRef a, ExprRef b);
+ExprRef Not(ExprRef e);
+
+/// Arithmetic; result is kDouble if either side is, else kInt64.
+ExprRef Arith(ArithOp op, ExprRef lhs, ExprRef rhs);
+
+/// Always-true predicate (scan without filter).
+ExprRef TruePredicate();
+
+}  // namespace sharing

@@ -1,0 +1,416 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/tuple.h"
+
+namespace sharing {
+
+namespace {
+
+/// Accumulates output rows into pages and forwards full pages to the sink.
+/// Returns false from Append* when the sink has no consumers left.
+class PageEmitter {
+ public:
+  PageEmitter(std::size_t row_width, PageSink* sink)
+      : row_width_(row_width), sink_(sink) {
+    current_ = std::make_shared<RowPage>(row_width_);
+  }
+
+  uint8_t* AppendSlot() {
+    uint8_t* slot = current_->AppendSlot();
+    if (slot != nullptr) return slot;
+    if (!Flush()) return nullptr;
+    return current_->AppendSlot();
+  }
+
+  bool AppendRow(const uint8_t* row) {
+    uint8_t* slot = AppendSlot();
+    if (slot == nullptr) return false;
+    std::memcpy(slot, row, row_width_);
+    return true;
+  }
+
+  /// Emits the current partial page. Returns false when consumers are gone.
+  bool Flush() {
+    if (current_->empty()) return true;
+    PageRef out = std::move(current_);
+    current_ = std::make_shared<RowPage>(row_width_);
+    return sink_->Put(std::move(out));
+  }
+
+ private:
+  std::size_t row_width_;
+  PageSink* sink_;
+  std::shared_ptr<RowPage> current_;
+};
+
+/// Terminates early: tells upstream producers this consumer is gone, then
+/// seals the output with an Aborted status.
+Status Abort(const char* why, PageSink* sink,
+             std::initializer_list<PageSource*> inputs = {}) {
+  for (PageSource* in : inputs) {
+    if (in != nullptr) in->CancelConsumer();
+  }
+  Status st = Status::Aborted(why);
+  sink->Close(st);
+  return st;
+}
+
+Status FinishCancelled(PageSink* sink,
+                       std::initializer_list<PageSource*> inputs = {}) {
+  return Abort("query cancelled", sink, inputs);
+}
+
+Status FinishNoConsumers(PageSink* sink,
+                         std::initializer_list<PageSource*> inputs = {}) {
+  return Abort("all consumers detached", sink, inputs);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Filters+projects the rows of one stored page into the emitter.
+/// Returns false when the sink lost all consumers.
+bool ScanOnePage(const ScanNode& node, const Schema& table_schema,
+                 const uint8_t* frame, PageEmitter* emitter) {
+  const uint32_t n_rows = page_layout::RowCount(frame);
+  const Expr* pred = node.predicate().get();
+  const auto& projection = node.projection();
+  const Schema& out_schema = node.output_schema();
+  for (uint32_t i = 0; i < n_rows; ++i) {
+    TupleRef row(page_layout::RowAt(frame, i), &table_schema);
+    if (!pred->EvalBool(row)) continue;
+    uint8_t* slot = emitter->AppendSlot();
+    if (slot == nullptr) return false;
+    for (std::size_t c = 0; c < projection.size(); ++c) {
+      std::memcpy(slot + out_schema.offset(c),
+                  row.data() + table_schema.offset(projection[c]),
+                  out_schema.column(c).width);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status RunScan(const ScanNode& node, const Table* table,
+               CircularScanGroup* scan_group, ExecContext* ctx,
+               PageSink* sink) {
+  SHARING_CHECK(table->schema() == node.table_schema())
+      << "plan schema does not match table " << table->name();
+  PageEmitter emitter(node.output_schema().row_width(), sink);
+
+  if (scan_group != nullptr) {
+    auto ticket = scan_group->Attach();
+    while (ScanPageRef page = ticket->Next()) {
+      if (ctx->cancelled()) {
+        ticket->Cancel();
+        return FinishCancelled(sink);
+      }
+      if (!ScanOnePage(node, table->schema(), page->data(), &emitter)) {
+        ticket->Cancel();
+        return FinishNoConsumers(sink);
+      }
+    }
+    Status scan_status = ticket->FinalStatus();
+    if (!scan_status.ok()) {
+      sink->Close(scan_status);
+      return scan_status;
+    }
+  } else {
+    BufferPool* pool = table->buffer_pool();
+    for (std::size_t p = 0; p < table->num_pages(); ++p) {
+      if (ctx->cancelled()) return FinishCancelled(sink);
+      auto guard_or = pool->FetchPage(table->page_id(p));
+      if (!guard_or.ok()) {
+        sink->Close(guard_or.status());
+        return guard_or.status();
+      }
+      if (!ScanOnePage(node, table->schema(), guard_or.value().data(),
+                       &emitter)) {
+        return FinishNoConsumers(sink);
+      }
+    }
+  }
+
+  if (!emitter.Flush()) return FinishNoConsumers(sink);
+  sink->Close(Status::OK());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+Status RunHashJoin(const JoinNode& node, PageSource* build, PageSource* probe,
+                   ExecContext* ctx, PageSink* sink) {
+  const Schema& build_schema = node.build()->output_schema();
+  const Schema& probe_schema = node.probe()->output_schema();
+  const std::size_t build_width = build_schema.row_width();
+  const std::size_t probe_width = probe_schema.row_width();
+  const std::size_t build_key_off = build_schema.offset(node.build_key());
+  const std::size_t probe_key_off = probe_schema.offset(node.probe_key());
+
+  // Build phase: copy rows into an arena keyed by the join column.
+  std::vector<uint8_t> arena;
+  std::unordered_multimap<int64_t, uint32_t> table;
+  while (PageRef page = build->Next()) {
+    if (ctx->cancelled()) return FinishCancelled(sink, {build, probe});
+    for (std::size_t i = 0; i < page->row_count(); ++i) {
+      const uint8_t* row = page->RowAt(i);
+      int64_t key;
+      std::memcpy(&key, row + build_key_off, sizeof(key));
+      table.emplace(key,
+                    static_cast<uint32_t>(arena.size() / build_width));
+      arena.insert(arena.end(), row, row + build_width);
+    }
+  }
+  if (!build->FinalStatus().ok()) {
+    Status st = build->FinalStatus();
+    sink->Close(st);
+    return st;
+  }
+
+  // Probe phase.
+  PageEmitter emitter(node.output_schema().row_width(), sink);
+  while (PageRef page = probe->Next()) {
+    if (ctx->cancelled()) return FinishCancelled(sink, {probe});
+    for (std::size_t i = 0; i < page->row_count(); ++i) {
+      const uint8_t* row = page->RowAt(i);
+      int64_t key;
+      std::memcpy(&key, row + probe_key_off, sizeof(key));
+      auto [lo, hi] = table.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        uint8_t* slot = emitter.AppendSlot();
+        if (slot == nullptr) return FinishNoConsumers(sink, {probe});
+        std::memcpy(slot, arena.data() + std::size_t(it->second) * build_width,
+                    build_width);
+        std::memcpy(slot + build_width, row, probe_width);
+      }
+    }
+  }
+  if (!probe->FinalStatus().ok()) {
+    Status st = probe->FinalStatus();
+    sink->Close(st);
+    return st;
+  }
+
+  if (!emitter.Flush()) return FinishNoConsumers(sink);
+  sink->Close(Status::OK());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregate
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GroupState {
+  // One slot per AggSpec: sum/min/max in `acc`, count in `count`
+  // (kAvg uses both).
+  std::vector<double> acc;
+  std::vector<int64_t> count;
+  std::vector<bool> seen;  // for min/max initialization
+};
+
+}  // namespace
+
+Status RunHashAggregate(const AggregateNode& node, PageSource* input,
+                        ExecContext* ctx, PageSink* sink) {
+  const Schema& in_schema = node.child()->output_schema();
+  const auto& group_by = node.group_by();
+  const auto& aggs = node.aggs();
+
+  // Precompute group-key extraction layout: byte ranges of group columns.
+  std::vector<std::pair<std::size_t, std::size_t>> key_ranges;  // off, width
+  std::size_t key_width = 0;
+  for (auto g : group_by) {
+    key_ranges.emplace_back(in_schema.offset(g), in_schema.column(g).width);
+    key_width += in_schema.column(g).width;
+  }
+
+  std::unordered_map<std::string, GroupState> groups;
+  std::string key_buf(key_width, '\0');
+
+  while (PageRef page = input->Next()) {
+    if (ctx->cancelled()) return FinishCancelled(sink, {input});
+    for (std::size_t i = 0; i < page->row_count(); ++i) {
+      const uint8_t* row = page->RowAt(i);
+      // Materialize the concatenated group key.
+      std::size_t pos = 0;
+      for (const auto& [off, width] : key_ranges) {
+        std::memcpy(key_buf.data() + pos, row + off, width);
+        pos += width;
+      }
+      auto [it, inserted] = groups.try_emplace(key_buf);
+      GroupState& g = it->second;
+      if (inserted) {
+        g.acc.assign(aggs.size(), 0.0);
+        g.count.assign(aggs.size(), 0);
+        g.seen.assign(aggs.size(), false);
+      }
+      TupleRef tuple(row, &in_schema);
+      for (std::size_t a = 0; a < aggs.size(); ++a) {
+        const AggSpec& spec = aggs[a];
+        switch (spec.func) {
+          case AggSpec::Func::kCount:
+            ++g.count[a];
+            break;
+          case AggSpec::Func::kSum:
+          case AggSpec::Func::kAvg: {
+            g.acc[a] += spec.input->EvalDouble(tuple);
+            ++g.count[a];
+            break;
+          }
+          case AggSpec::Func::kMin: {
+            double v = spec.input->EvalDouble(tuple);
+            if (!g.seen[a] || v < g.acc[a]) g.acc[a] = v;
+            g.seen[a] = true;
+            break;
+          }
+          case AggSpec::Func::kMax: {
+            double v = spec.input->EvalDouble(tuple);
+            if (!g.seen[a] || v > g.acc[a]) g.acc[a] = v;
+            g.seen[a] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (!input->FinalStatus().ok()) {
+    Status st = input->FinalStatus();
+    sink->Close(st);
+    return st;
+  }
+
+  // Emit one row per group: packed group key bytes, then aggregate values.
+  const Schema& out_schema = node.output_schema();
+  PageEmitter emitter(out_schema.row_width(), sink);
+  for (const auto& [key, g] : groups) {
+    if (ctx->cancelled()) return FinishCancelled(sink);
+    uint8_t* slot = emitter.AppendSlot();
+    if (slot == nullptr) return FinishNoConsumers(sink);
+    std::memcpy(slot, key.data(), key.size());
+    std::size_t off = key.size();
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      switch (aggs[a].func) {
+        case AggSpec::Func::kCount: {
+          int64_t c = g.count[a];
+          std::memcpy(slot + off, &c, sizeof(c));
+          off += sizeof(c);
+          break;
+        }
+        case AggSpec::Func::kAvg: {
+          double v = g.count[a] == 0 ? 0.0 : g.acc[a] / double(g.count[a]);
+          std::memcpy(slot + off, &v, sizeof(v));
+          off += sizeof(v);
+          break;
+        }
+        default: {
+          double v = g.acc[a];
+          std::memcpy(slot + off, &v, sizeof(v));
+          off += sizeof(v);
+          break;
+        }
+      }
+    }
+  }
+  if (!emitter.Flush()) return FinishNoConsumers(sink);
+  sink->Close(Status::OK());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+Status RunSort(const SortNode& node, PageSource* input, ExecContext* ctx,
+               PageSink* sink) {
+  const Schema& schema = node.output_schema();
+  const std::size_t width = schema.row_width();
+
+  std::vector<uint8_t> rows;
+  while (PageRef page = input->Next()) {
+    if (ctx->cancelled()) return FinishCancelled(sink, {input});
+    if (page->row_count() == 0) continue;
+    rows.insert(rows.end(), page->RowAt(0),
+                page->RowAt(0) + page->row_count() * width);
+  }
+  if (!input->FinalStatus().ok()) {
+    Status st = input->FinalStatus();
+    sink->Close(st);
+    return st;
+  }
+
+  std::size_t n = width == 0 ? 0 : rows.size() / width;
+  std::vector<uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+
+  auto compare_rows = [&](uint32_t a, uint32_t b) {
+    TupleRef ra(rows.data() + std::size_t(a) * width, &schema);
+    TupleRef rb(rows.data() + std::size_t(b) * width, &schema);
+    for (const auto& k : node.keys()) {
+      int cmp = 0;
+      switch (schema.column(k.column).type) {
+        case ValueType::kInt64: {
+          int64_t va = ra.GetInt64(k.column), vb = rb.GetInt64(k.column);
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+          break;
+        }
+        case ValueType::kDouble: {
+          double va = ra.GetDouble(k.column), vb = rb.GetDouble(k.column);
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+          break;
+        }
+        case ValueType::kDate: {
+          auto va = ra.GetDate(k.column), vb = rb.GetDate(k.column);
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+          break;
+        }
+        case ValueType::kString: {
+          cmp = ra.GetString(k.column).compare(rb.GetString(k.column));
+          break;
+        }
+      }
+      if (cmp != 0) return k.ascending ? cmp < 0 : cmp > 0;
+    }
+    // Total order: break key ties on raw row bytes so top-k (LIMIT)
+    // selects a deterministic set, matching the reference executor.
+    return std::memcmp(rows.data() + std::size_t(a) * width,
+                       rows.data() + std::size_t(b) * width, width) < 0;
+  };
+  if (node.limit() > 0 && node.limit() < n) {
+    // Top-k: only the first `limit` rows in key order are needed.
+    std::partial_sort(order.begin(), order.begin() + node.limit(),
+                      order.end(), compare_rows);
+    order.resize(node.limit());
+  } else {
+    std::stable_sort(order.begin(), order.end(), compare_rows);
+  }
+
+  PageEmitter emitter(width, sink);
+  for (uint32_t idx : order) {
+    if (ctx->cancelled()) return FinishCancelled(sink);
+    if (!emitter.AppendRow(rows.data() + std::size_t(idx) * width)) {
+      return FinishNoConsumers(sink);
+    }
+  }
+  if (!emitter.Flush()) return FinishNoConsumers(sink);
+  sink->Close(Status::OK());
+  return Status::OK();
+}
+
+}  // namespace sharing

@@ -1,0 +1,49 @@
+// Page-granular data flow interfaces.
+//
+// Operators read pages from PageSources and emit pages into PageSinks.
+// QPipe's FIFO buffers (push model) and the Shared Pages List (pull model)
+// both implement these interfaces, so operator code is agnostic to the
+// sharing mechanism wired around it.
+
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace sharing {
+
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Blocks for the next page. Returns nullptr at end-of-stream.
+  virtual PageRef Next() = 0;
+
+  /// Terminal status of the stream; meaningful after Next() returned
+  /// nullptr (an aborted producer surfaces kAborted here).
+  virtual Status FinalStatus() const = 0;
+
+  /// Consumer-side abandonment: tells the producer this consumer will
+  /// never read again, so it may stop early. Default: no-op.
+  virtual void CancelConsumer() {}
+};
+
+class PageSink {
+ public:
+  virtual ~PageSink() = default;
+
+  /// Emits a page. Returns false when no consumer can ever read it again
+  /// (all consumers cancelled) — the producer should stop early.
+  virtual bool Put(PageRef page) = 0;
+
+  /// Ends the stream. `final` is OK for normal completion or the error
+  /// the consumer should observe.
+  virtual void Close(Status final) = 0;
+};
+
+using PageSourceRef = std::shared_ptr<PageSource>;
+using PageSinkRef = std::shared_ptr<PageSink>;
+
+}  // namespace sharing

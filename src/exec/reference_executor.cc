@@ -1,0 +1,212 @@
+#include "exec/reference_executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/tuple.h"
+
+namespace sharing {
+
+StatusOr<ResultSet> ReferenceExecutor::Execute(const PlanNode& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return ExecuteScan(static_cast<const ScanNode&>(plan));
+    case PlanKind::kJoin:
+      return ExecuteJoin(static_cast<const JoinNode&>(plan));
+    case PlanKind::kAggregate:
+      return ExecuteAggregate(static_cast<const AggregateNode&>(plan));
+    case PlanKind::kSort:
+      return ExecuteSort(static_cast<const SortNode&>(plan));
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+StatusOr<ResultSet> ReferenceExecutor::ExecuteScan(const ScanNode& node) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(table, catalog_->GetTable(node.table_name()));
+  const Schema& in = table->schema();
+  ResultSet out(node.output_schema());
+  BufferPool* pool = table->buffer_pool();
+  for (std::size_t p = 0; p < table->num_pages(); ++p) {
+    PageGuard guard;
+    SHARING_ASSIGN_OR_RETURN(guard, pool->FetchPage(table->page_id(p)));
+    const uint8_t* frame = guard.data();
+    const uint32_t n = page_layout::RowCount(frame);
+    for (uint32_t i = 0; i < n; ++i) {
+      TupleRef row(page_layout::RowAt(frame, i), &in);
+      if (!node.predicate()->EvalBool(row)) continue;
+      RowWriter w = out.AppendSlot();
+      for (std::size_t c = 0; c < node.projection().size(); ++c) {
+        std::memcpy(w.data() + node.output_schema().offset(c),
+                    row.data() + in.offset(node.projection()[c]),
+                    node.output_schema().column(c).width);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<ResultSet> ReferenceExecutor::ExecuteJoin(const JoinNode& node) {
+  ResultSet left, right;
+  SHARING_ASSIGN_OR_RETURN(left, Execute(*node.build()));
+  SHARING_ASSIGN_OR_RETURN(right, Execute(*node.probe()));
+
+  std::unordered_multimap<int64_t, std::size_t> index;
+  for (std::size_t i = 0; i < left.num_rows(); ++i) {
+    index.emplace(left.Row(i).GetInt64(node.build_key()), i);
+  }
+
+  const std::size_t lw = left.schema().row_width();
+  const std::size_t rw = right.schema().row_width();
+  ResultSet out(node.output_schema());
+  for (std::size_t j = 0; j < right.num_rows(); ++j) {
+    int64_t key = right.Row(j).GetInt64(node.probe_key());
+    auto [lo, hi] = index.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      RowWriter w = out.AppendSlot();
+      std::memcpy(w.data(), left.Row(it->second).data(), lw);
+      std::memcpy(w.data() + lw, right.Row(j).data(), rw);
+    }
+  }
+  return out;
+}
+
+StatusOr<ResultSet> ReferenceExecutor::ExecuteAggregate(
+    const AggregateNode& node) {
+  ResultSet input;
+  SHARING_ASSIGN_OR_RETURN(input, Execute(*node.child()));
+  const Schema& in = input.schema();
+
+  struct Acc {
+    std::vector<double> acc;
+    std::vector<int64_t> count;
+    std::vector<bool> seen;
+  };
+  // std::map keyed on the packed group bytes: deterministic output order.
+  std::map<std::string, Acc> groups;
+
+  for (std::size_t i = 0; i < input.num_rows(); ++i) {
+    TupleRef row = input.Row(i);
+    std::string key;
+    for (auto g : node.group_by()) {
+      key.append(reinterpret_cast<const char*>(row.data() + in.offset(g)),
+                 in.column(g).width);
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Acc& a = it->second;
+    if (inserted) {
+      a.acc.assign(node.aggs().size(), 0.0);
+      a.count.assign(node.aggs().size(), 0);
+      a.seen.assign(node.aggs().size(), false);
+    }
+    for (std::size_t s = 0; s < node.aggs().size(); ++s) {
+      const AggSpec& spec = node.aggs()[s];
+      switch (spec.func) {
+        case AggSpec::Func::kCount:
+          ++a.count[s];
+          break;
+        case AggSpec::Func::kSum:
+        case AggSpec::Func::kAvg:
+          a.acc[s] += spec.input->EvalDouble(row);
+          ++a.count[s];
+          break;
+        case AggSpec::Func::kMin: {
+          double v = spec.input->EvalDouble(row);
+          if (!a.seen[s] || v < a.acc[s]) a.acc[s] = v;
+          a.seen[s] = true;
+          break;
+        }
+        case AggSpec::Func::kMax: {
+          double v = spec.input->EvalDouble(row);
+          if (!a.seen[s] || v > a.acc[s]) a.acc[s] = v;
+          a.seen[s] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  ResultSet out(node.output_schema());
+  for (const auto& [key, a] : groups) {
+    RowWriter w = out.AppendSlot();
+    std::memcpy(w.data(), key.data(), key.size());
+    std::size_t off = key.size();
+    for (std::size_t s = 0; s < node.aggs().size(); ++s) {
+      switch (node.aggs()[s].func) {
+        case AggSpec::Func::kCount: {
+          int64_t c = a.count[s];
+          std::memcpy(w.data() + off, &c, sizeof(c));
+          off += sizeof(c);
+          break;
+        }
+        case AggSpec::Func::kAvg: {
+          double v = a.count[s] == 0 ? 0.0 : a.acc[s] / double(a.count[s]);
+          std::memcpy(w.data() + off, &v, sizeof(v));
+          off += sizeof(v);
+          break;
+        }
+        default: {
+          double v = a.acc[s];
+          std::memcpy(w.data() + off, &v, sizeof(v));
+          off += sizeof(v);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<ResultSet> ReferenceExecutor::ExecuteSort(const SortNode& node) {
+  ResultSet input;
+  SHARING_ASSIGN_OR_RETURN(input, Execute(*node.child()));
+  const Schema& schema = input.schema();
+
+  std::vector<std::size_t> order(input.num_rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    TupleRef ra = input.Row(a), rb = input.Row(b);
+    for (const auto& k : node.keys()) {
+      int cmp = 0;
+      switch (schema.column(k.column).type) {
+        case ValueType::kInt64: {
+          auto va = ra.GetInt64(k.column), vb = rb.GetInt64(k.column);
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+          break;
+        }
+        case ValueType::kDouble: {
+          auto va = ra.GetDouble(k.column), vb = rb.GetDouble(k.column);
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+          break;
+        }
+        case ValueType::kDate: {
+          auto va = ra.GetDate(k.column), vb = rb.GetDate(k.column);
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+          break;
+        }
+        case ValueType::kString:
+          cmp = ra.GetString(k.column).compare(rb.GetString(k.column));
+          break;
+      }
+      if (cmp != 0) return k.ascending ? cmp < 0 : cmp > 0;
+    }
+    // Same byte-wise tiebreaker as the pipelined sort (deterministic
+    // LIMIT semantics).
+    return std::memcmp(ra.data(), rb.data(), schema.row_width()) < 0;
+  });
+
+  if (node.limit() > 0 && node.limit() < order.size()) {
+    order.resize(node.limit());
+  }
+  ResultSet out(node.output_schema());
+  for (std::size_t idx : order) out.AppendRow(input.Row(idx).data());
+  return out;
+}
+
+}  // namespace sharing

@@ -1,0 +1,33 @@
+// ReferenceExecutor: a deliberately naive, single-threaded plan evaluator.
+//
+// It shares no code with the pipelined operators and is used as the
+// correctness oracle: every engine mode (query-centric, SP-push, SP-pull,
+// GQP, GQP+SP) must produce result sets equivalent to this executor's
+// output for the same plan.
+
+#pragma once
+
+#include "common/status_or.h"
+#include "exec/plan.h"
+#include "exec/result.h"
+#include "storage/table.h"
+
+namespace sharing {
+
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Evaluates `plan` and materializes its full output.
+  StatusOr<ResultSet> Execute(const PlanNode& plan);
+
+ private:
+  StatusOr<ResultSet> ExecuteScan(const ScanNode& node);
+  StatusOr<ResultSet> ExecuteJoin(const JoinNode& node);
+  StatusOr<ResultSet> ExecuteAggregate(const AggregateNode& node);
+  StatusOr<ResultSet> ExecuteSort(const SortNode& node);
+
+  const Catalog* catalog_;
+};
+
+}  // namespace sharing

@@ -1,0 +1,21 @@
+#include "exec/result.h"
+
+#include <algorithm>
+
+namespace sharing {
+
+std::string ResultSet::ToString(std::size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += "\n";
+  std::size_t n = std::min(max_rows, num_rows());
+  for (std::size_t i = 0; i < n; ++i) {
+    out += Row(i).ToString();
+    out += "\n";
+  }
+  if (n < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - n) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace sharing

@@ -1,0 +1,69 @@
+// Materialized query results, used by result collectors and tests.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace sharing {
+
+/// An owned, materialized result: schema + packed rows.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const {
+    return schema_.row_width() == 0 ? 0 : rows_.size() / schema_.row_width();
+  }
+
+  TupleRef Row(std::size_t i) const {
+    return TupleRef(rows_.data() + i * schema_.row_width(), &schema_);
+  }
+
+  /// Appends a packed row (schema().row_width() bytes).
+  void AppendRow(const uint8_t* row) {
+    rows_.insert(rows_.end(), row, row + schema_.row_width());
+  }
+
+  /// Appends every row of `page`.
+  void AppendPage(const RowPage& page) {
+    for (std::size_t i = 0; i < page.row_count(); ++i) AppendRow(page.RowAt(i));
+  }
+
+  /// Reserves a writable row slot.
+  RowWriter AppendSlot() {
+    std::size_t off = rows_.size();
+    rows_.resize(off + schema_.row_width());
+    return RowWriter(rows_.data() + off, &schema_);
+  }
+
+  /// Canonical row-order-independent form: every row rendered to text,
+  /// sorted. Two result sets are equivalent iff these match — the core
+  /// invariant checked between engine modes (sharing must not change
+  /// results).
+  std::vector<std::string> CanonicalRows() const {
+    std::vector<std::string> out;
+    out.reserve(num_rows());
+    for (std::size_t i = 0; i < num_rows(); ++i) {
+      out.push_back(Row(i).ToString());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::string ToString(std::size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<uint8_t> rows_;
+};
+
+}  // namespace sharing

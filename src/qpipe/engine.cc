@@ -1,0 +1,149 @@
+#include "qpipe/engine.h"
+
+#include "common/logging.h"
+
+namespace sharing {
+
+StatusOr<ResultSet> QueryHandle::Collect() {
+  SHARING_CHECK(valid());
+  ResultSet result(schema());
+  while (PageRef page = root_->Next()) {
+    result.AppendPage(*page);
+  }
+  Status st = root_->FinalStatus();
+  if (!st.ok()) return st;
+  return result;
+}
+
+void QueryHandle::Cancel() {
+  if (!valid()) return;
+  ctx_->Cancel();
+  root_->CancelConsumer();
+}
+
+QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
+                         MetricsRegistry* metrics)
+    : catalog_(catalog), options_(options), metrics_(metrics) {
+  Stage::Options base;
+  base.initial_workers = options_.stage_workers;
+  base.max_workers = options_.stage_max_workers;
+  base.fifo_capacity = options_.fifo_capacity;
+
+  Stage::Options o = base;
+  o.sp_mode = options_.scan_sp;
+  tscan_ = std::make_unique<TscanStage>(o, metrics_);
+  o.sp_mode = options_.join_sp;
+  join_ = std::make_unique<JoinStage>(o, metrics_);
+  o.sp_mode = options_.agg_sp;
+  agg_ = std::make_unique<AggStage>(o, metrics_);
+  o.sp_mode = options_.sort_sp;
+  sort_ = std::make_unique<SortStage>(o, metrics_);
+}
+
+QPipeEngine::~QPipeEngine() {
+  // Stages drain their queues before the scan groups (whose producer
+  // threads feed scan packets) are destroyed.
+  tscan_->Shutdown();
+  join_->Shutdown();
+  agg_->Shutdown();
+  sort_->Shutdown();
+  for (auto& s : extra_stages_) s->Shutdown();
+}
+
+void QPipeEngine::SetSpModeAllStages(SpMode mode) {
+  tscan_->SetSpMode(mode);
+  join_->SetSpMode(mode);
+  agg_->SetSpMode(mode);
+  sort_->SetSpMode(mode);
+}
+
+CircularScanGroup* QPipeEngine::ScanGroupFor(const Table* table) {
+  std::lock_guard<std::mutex> lock(scan_groups_mutex_);
+  auto it = scan_groups_.find(table);
+  if (it == scan_groups_.end()) {
+    it = scan_groups_
+             .emplace(table,
+                      std::make_unique<CircularScanGroup>(
+                          table, /*queue_depth=*/4, metrics_))
+             .first;
+  }
+  return it->second.get();
+}
+
+void QPipeEngine::RegisterExtraStage(std::shared_ptr<Stage> stage) {
+  extra_stages_.push_back(std::move(stage));
+}
+
+void QPipeEngine::SetJoinDispatchHook(DispatchHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mutex_);
+  join_hook_ = std::move(hook);
+}
+
+PageSourceRef QPipeEngine::Dispatch(const PlanNodeRef& node,
+                                    const ExecContextRef& ctx) {
+  switch (node->kind()) {
+    case PlanKind::kScan: {
+      const auto* scan = static_cast<const ScanNode*>(node.get());
+      auto table_or = catalog_->GetTable(scan->table_name());
+      SHARING_CHECK(table_or.ok()) << table_or.status().ToString();
+      Table* table = table_or.value();
+      CircularScanGroup* group =
+          options_.shared_scans ? ScanGroupFor(table) : nullptr;
+      return tscan_->SubmitOrShare(
+          node, ctx, /*make_inputs=*/{}, [table, group](Packet& p) {
+            p.table = table;
+            p.scan_group = group;
+          });
+    }
+    case PlanKind::kJoin: {
+      {
+        std::lock_guard<std::mutex> lock(hook_mutex_);
+        if (join_hook_) {
+          if (PageSourceRef src = join_hook_(node, ctx)) return src;
+        }
+      }
+      const auto* j = static_cast<const JoinNode*>(node.get());
+      PlanNodeRef build = j->build();
+      PlanNodeRef probe = j->probe();
+      return join_->SubmitOrShare(node, ctx, [this, build, probe, ctx] {
+        std::vector<PageSourceRef> inputs;
+        inputs.push_back(Dispatch(build, ctx));
+        inputs.push_back(Dispatch(probe, ctx));
+        return inputs;
+      });
+    }
+    case PlanKind::kAggregate: {
+      const auto* a = static_cast<const AggregateNode*>(node.get());
+      PlanNodeRef child = a->child();
+      return agg_->SubmitOrShare(node, ctx, [this, child, ctx] {
+        return std::vector<PageSourceRef>{Dispatch(child, ctx)};
+      });
+    }
+    case PlanKind::kSort: {
+      const auto* s = static_cast<const SortNode*>(node.get());
+      PlanNodeRef child = s->child();
+      return sort_->SubmitOrShare(node, ctx, [this, child, ctx] {
+        return std::vector<PageSourceRef>{Dispatch(child, ctx)};
+      });
+    }
+  }
+  SHARING_CHECK(false) << "unreachable plan kind";
+  return nullptr;
+}
+
+QueryHandle QPipeEngine::Submit(PlanNodeRef plan) {
+  auto ctx = std::make_shared<ExecContext>(NextQueryId(), metrics_);
+  PageSourceRef root = Dispatch(plan, ctx);
+  return QueryHandle(std::move(plan), std::move(root), std::move(ctx));
+}
+
+StatusOr<ResultSet> QPipeEngine::Execute(PlanNodeRef plan) {
+  QueryHandle handle = Submit(std::move(plan));
+  auto result = handle.Collect();
+  if (result.ok()) {
+    metrics_->GetCounter(metrics::kQueriesFinished)->Increment();
+  }
+  return result;
+}
+
+}  // namespace sharing

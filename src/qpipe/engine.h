@@ -1,0 +1,148 @@
+// QPipeEngine: the staged, work-sharing execution engine.
+//
+// Submitting a plan converts it into packets dispatched to the TSCAN /
+// JOIN / AGG / SORT stages (the CJOIN stage is added by the cjoin module).
+// Per-stage SP modes control reactive sharing; circular shared scans at
+// the I/O layer are on by default (the paper: "Without SP for any stage,
+// the QPipe engine is similar to a query-centric execution engine with
+// shared scans").
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/status_or.h"
+#include "exec/result.h"
+#include "qpipe/stages.h"
+#include "storage/circular_scan.h"
+#include "storage/table.h"
+
+namespace sharing {
+
+struct QPipeOptions {
+  SpMode scan_sp = SpMode::kOff;
+  SpMode join_sp = SpMode::kOff;
+  SpMode agg_sp = SpMode::kOff;
+  SpMode sort_sp = SpMode::kOff;
+
+  /// Circular shared scans at the storage layer (independent of SP).
+  bool shared_scans = true;
+
+  /// Initial workers per stage (pools grow elastically).
+  std::size_t stage_workers = 2;
+
+  /// Cap on each stage's elastic pool (see Stage::Options::max_workers for
+  /// the deadlock caveat; leave at the default for general workloads).
+  std::size_t stage_max_workers = 1024;
+
+  /// FIFO capacity in pages.
+  std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
+
+  /// Applies `mode` to all four stages.
+  static QPipeOptions AllSp(SpMode mode) {
+    QPipeOptions o;
+    o.scan_sp = o.join_sp = o.agg_sp = o.sort_sp = mode;
+    return o;
+  }
+};
+
+/// A submitted query: pull pages from it, collect everything, or cancel.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+  QueryHandle(PlanNodeRef plan, PageSourceRef root, ExecContextRef ctx)
+      : plan_(std::move(plan)), root_(std::move(root)), ctx_(std::move(ctx)) {}
+
+  bool valid() const { return root_ != nullptr; }
+  const Schema& schema() const { return plan_->output_schema(); }
+  const ExecContextRef& context() const { return ctx_; }
+
+  /// Next result page (nullptr at end).
+  PageRef Next() { return root_->Next(); }
+
+  /// Drains the query to completion and materializes the result.
+  StatusOr<ResultSet> Collect();
+
+  /// Cooperative cancel: stops this query's packets; if this query is an
+  /// SP satellite only its own consumption stops (the host continues for
+  /// other consumers) — paper Fig. 1a.
+  void Cancel();
+
+ private:
+  PlanNodeRef plan_;
+  PageSourceRef root_;
+  ExecContextRef ctx_;
+};
+
+class QPipeEngine {
+ public:
+  QPipeEngine(Catalog* catalog, QPipeOptions options,
+              MetricsRegistry* metrics = &MetricsRegistry::Global());
+  ~QPipeEngine();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(QPipeEngine);
+
+  /// Dispatches `plan` and returns a handle streaming its results.
+  QueryHandle Submit(PlanNodeRef plan);
+
+  /// Submit + Collect.
+  StatusOr<ResultSet> Execute(PlanNodeRef plan);
+
+  Catalog* catalog() const { return catalog_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  TscanStage* scan_stage() { return tscan_.get(); }
+  JoinStage* join_stage() { return join_.get(); }
+  AggStage* agg_stage() { return agg_.get(); }
+  SortStage* sort_stage() { return sort_.get(); }
+
+  /// Reconfigures SP for all stages at run time (the demo GUI's
+  /// per-stage SP checkboxes).
+  void SetSpModeAllStages(SpMode mode);
+
+  /// The shared circular-scan group for `table` (created on first use).
+  CircularScanGroup* ScanGroupFor(const Table* table);
+
+  /// Registers an auxiliary stage (the CJOIN integration uses this to
+  /// participate in engine shutdown).
+  void RegisterExtraStage(std::shared_ptr<Stage> stage);
+
+  /// Dispatches a sub-plan and returns the source of its results. Public
+  /// so the CJOIN stage can dispatch query-centric operators *above* the
+  /// global query plan.
+  PageSourceRef Dispatch(const PlanNodeRef& node, const ExecContextRef& ctx);
+
+  uint64_t NextQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Plan-kind hook: when set, plans whose root/subtree kind has a custom
+  /// dispatcher (e.g. CJOIN-eligible star joins) are routed there first.
+  using DispatchHook =
+      std::function<PageSourceRef(const PlanNodeRef&, const ExecContextRef&)>;
+  void SetJoinDispatchHook(DispatchHook hook);
+
+ private:
+  Catalog* catalog_;
+  QPipeOptions options_;
+  MetricsRegistry* metrics_;
+
+  std::unique_ptr<TscanStage> tscan_;
+  std::unique_ptr<JoinStage> join_;
+  std::unique_ptr<AggStage> agg_;
+  std::unique_ptr<SortStage> sort_;
+  std::vector<std::shared_ptr<Stage>> extra_stages_;
+
+  std::mutex scan_groups_mutex_;
+  std::map<const Table*, std::unique_ptr<CircularScanGroup>> scan_groups_;
+
+  std::mutex hook_mutex_;
+  DispatchHook join_hook_;
+
+  std::atomic<uint64_t> next_query_id_{1};
+};
+
+}  // namespace sharing

@@ -1,0 +1,108 @@
+// FifoBuffer: the bounded page queue QPipe uses between parent and child
+// packets (push-only model, as in the original engine).
+//
+// Exactly one producer and one consumer. The producer blocks on a full
+// buffer (pipeline backpressure); the consumer blocks on an empty one.
+// Either side can leave early: Close(status) seals the stream from the
+// producer side; CancelReader() tells the producer its consumer is gone
+// (Put starts returning false).
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/macros.h"
+#include "exec/page_stream.h"
+
+namespace sharing {
+
+class FifoBuffer final : public PageSource, public PageSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8;
+
+  explicit FifoBuffer(std::size_t capacity_pages = kDefaultCapacity)
+      : capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+  SHARING_DISALLOW_COPY_AND_MOVE(FifoBuffer);
+
+  // PageSink ----------------------------------------------------------------
+
+  bool Put(PageRef page) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return queue_.size() < capacity_ || reader_cancelled_ || closed_;
+    });
+    if (reader_cancelled_ || closed_) return false;
+    queue_.push_back(std::move(page));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  void Close(Status final) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      final_ = std::move(final);
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  // PageSource --------------------------------------------------------------
+
+  PageRef Next() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return nullptr;
+    PageRef page = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return page;
+  }
+
+  Status FinalStatus() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return final_;
+  }
+
+  void CancelConsumer() override { CancelReader(); }
+
+  /// Consumer-side abandonment: wakes a blocked producer and makes all
+  /// subsequent Put calls return false. Buffered pages are dropped.
+  void CancelReader() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      reader_cancelled_ = true;
+      queue_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool reader_cancelled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reader_cancelled_;
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<PageRef> queue_;
+  bool closed_ = false;
+  bool reader_cancelled_ = false;
+  Status final_;
+};
+
+}  // namespace sharing

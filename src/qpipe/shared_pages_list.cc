@@ -1,0 +1,63 @@
+#include "qpipe/shared_pages_list.h"
+
+namespace sharing {
+
+bool SharedPagesList::Append(PageRef page) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    if (ever_attached_ > 0 && active_readers_ == 0) {
+      // Everyone who was interested has walked away.
+      return false;
+    }
+    pages_.push_back(std::move(page));
+    pages_shared_->Increment();
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void SharedPagesList::Close(Status final) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    final_ = std::move(final);
+  }
+  cv_.notify_all();
+}
+
+std::shared_ptr<SplReader> SharedPagesList::AttachReader() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ && !final_.ok()) return nullptr;
+  ++active_readers_;
+  ++ever_attached_;
+  return std::shared_ptr<SplReader>(new SplReader(shared_from_this()));
+}
+
+PageRef SplReader::Next() {
+  std::unique_lock<std::mutex> lock(list_->mutex_);
+  list_->cv_.wait(lock, [&] {
+    return cancelled_ || cursor_ < list_->pages_.size() || list_->closed_;
+  });
+  if (cancelled_ || cursor_ >= list_->pages_.size()) return nullptr;
+  return list_->pages_[cursor_++];
+}
+
+Status SplReader::FinalStatus() const {
+  std::lock_guard<std::mutex> lock(list_->mutex_);
+  if (cancelled_) return Status::Aborted("reader cancelled");
+  return list_->final_;
+}
+
+void SplReader::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(list_->mutex_);
+    if (cancelled_) return;
+    cancelled_ = true;
+    --list_->active_readers_;
+  }
+  list_->cv_.notify_all();
+}
+
+}  // namespace sharing

@@ -1,0 +1,111 @@
+// SharedPagesList (SPL): the paper's novel data structure for pull-based SP.
+//
+// A single producer appends immutable pages; any number of consumers read
+// the list at their own pace. Where the push model *forwards* (copies)
+// intermediate results into each consumer's FIFO — serializing all copies
+// through the producer thread — the SPL *shares* them: a page is produced
+// once and every consumer holds a reference. Consumers attaching
+// mid-production observe the full result because the list retains pages
+// from the beginning (this is what widens SP's sharing window in pull
+// mode).
+//
+// Memory note: pages are retained for the list's lifetime, which is the
+// host packet's query lifetime; they are freed when the host and all
+// satellites drop their references. The original SPL reclaims a page once
+// every attached consumer passed it and no new consumer may attach; we keep
+// the simpler retain-while-live policy (documented in DESIGN.md) since
+// intermediate results at benchmark scale fit comfortably in memory.
+
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "exec/page_stream.h"
+
+namespace sharing {
+
+class SplReader;
+
+class SharedPagesList
+    : public std::enable_shared_from_this<SharedPagesList> {
+ public:
+  static std::shared_ptr<SharedPagesList> Create(
+      MetricsRegistry* metrics = &MetricsRegistry::Global()) {
+    return std::shared_ptr<SharedPagesList>(new SharedPagesList(metrics));
+  }
+
+  SHARING_DISALLOW_COPY_AND_MOVE(SharedPagesList);
+
+  /// Producer: appends a page (no copy — all readers share it). Returns
+  /// false when every reader has cancelled, signalling the producer to
+  /// stop early.
+  bool Append(PageRef page);
+
+  /// Producer: seals the list with a terminal status.
+  void Close(Status final);
+
+  /// Attaches a reader starting at the first page. Returns nullptr when the
+  /// list terminated with a non-OK status (no point sharing an aborted
+  /// result). Thread-safe; may be called while the producer is appending
+  /// (the widened pull-model sharing window) or after it closed OK.
+  std::shared_ptr<SplReader> AttachReader();
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t NumPages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pages_.size();
+  }
+
+ private:
+  friend class SplReader;
+
+  explicit SharedPagesList(MetricsRegistry* metrics)
+      : pages_shared_(metrics->GetCounter(metrics::kSpPagesShared)) {}
+
+  Counter* pages_shared_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<PageRef> pages_;
+  bool closed_ = false;
+  Status final_;
+  std::size_t active_readers_ = 0;
+  std::size_t ever_attached_ = 0;
+};
+
+/// One consumer's cursor into a SharedPagesList.
+class SplReader final : public PageSource {
+ public:
+  ~SplReader() override { Cancel(); }
+  SHARING_DISALLOW_COPY_AND_MOVE(SplReader);
+
+  /// Blocks for the page at this reader's cursor; nullptr at end-of-list.
+  PageRef Next() override;
+
+  Status FinalStatus() const override;
+
+  void CancelConsumer() override { Cancel(); }
+
+  /// Detaches; a producer with no remaining readers stops early.
+  void Cancel();
+
+ private:
+  friend class SharedPagesList;
+  explicit SplReader(std::shared_ptr<SharedPagesList> list)
+      : list_(std::move(list)) {}
+
+  std::shared_ptr<SharedPagesList> list_;
+  std::size_t cursor_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace sharing

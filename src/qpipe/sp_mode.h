@@ -1,0 +1,38 @@
+// Simultaneous-Pipelining mode per QPipe stage.
+
+#pragma once
+
+#include <string_view>
+
+namespace sharing {
+
+enum class SpMode {
+  /// No SP: each packet is evaluated independently (query-centric
+  /// operators; shared circular scans may still apply at the I/O layer).
+  kOff,
+
+  /// Original push-based SP: the host packet *copies* every output page
+  /// into each satellite's FIFO buffer. The single producer performing all
+  /// copies is the serialization point the paper identifies.
+  kPush,
+
+  /// Pull-based SP via the Shared Pages List: the host appends each output
+  /// page once; satellites read the shared pages at their own pace. Also
+  /// widens the sharing window — satellites may attach mid-production and
+  /// still observe the full result.
+  kPull,
+};
+
+inline std::string_view SpModeToString(SpMode mode) {
+  switch (mode) {
+    case SpMode::kOff:
+      return "off";
+    case SpMode::kPush:
+      return "push";
+    case SpMode::kPull:
+      return "pull";
+  }
+  return "?";
+}
+
+}  // namespace sharing

@@ -1,0 +1,271 @@
+#include "qpipe/stage.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+// ---------------------------------------------------------------------------
+// TeeSink: the push-model sharing sink. The host writes once; the sink
+// forwards the page to the host's own consumer and *copies* it into every
+// satellite FIFO. All copies run in the producer thread — this loop is the
+// serialization point the paper's pull model removes.
+// ---------------------------------------------------------------------------
+
+class Stage::TeeSink final : public PageSink {
+ public:
+  TeeSink(PageSinkRef own, Counter* pages_copied, Counter* bytes_copied,
+          std::function<void()> on_close)
+      : own_(std::move(own)),
+        pages_copied_(pages_copied),
+        bytes_copied_(bytes_copied),
+        on_close_(std::move(on_close)) {}
+
+  bool Put(PageRef page) override {
+    std::vector<PageSinkRef> satellites;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      window_open_ = false;  // first emission closes the attach window
+      satellites = satellites_;
+    }
+    bool any = own_->Put(page);
+    std::vector<const PageSink*> dead;
+    for (const auto& sat : satellites) {
+      // Deep copy per consumer — the defining cost of push-based SP.
+      auto copy = std::make_shared<RowPage>(*page);
+      pages_copied_->Increment();
+      bytes_copied_->Add(static_cast<int64_t>(page->data_bytes()));
+      if (sat->Put(std::move(copy))) {
+        any = true;
+      } else {
+        dead.push_back(sat.get());
+      }
+    }
+    if (!dead.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::erase_if(satellites_, [&](const PageSinkRef& s) {
+        return std::find(dead.begin(), dead.end(), s.get()) != dead.end();
+      });
+    }
+    return any;
+  }
+
+  void Close(Status final) override {
+    std::vector<PageSinkRef> satellites;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      window_open_ = false;
+      satellites.swap(satellites_);
+    }
+    own_->Close(final);
+    for (const auto& sat : satellites) sat->Close(final);
+    if (on_close_) on_close_();
+  }
+
+  /// Registers a satellite sink; fails once the host has emitted anything.
+  bool TryAttach(PageSinkRef satellite) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!window_open_ || closed_) return false;
+    satellites_.push_back(std::move(satellite));
+    return true;
+  }
+
+ private:
+  PageSinkRef own_;
+  Counter* pages_copied_;
+  Counter* bytes_copied_;
+  std::function<void()> on_close_;
+
+  std::mutex mutex_;
+  std::vector<PageSinkRef> satellites_;
+  bool window_open_ = true;
+  bool closed_ = false;
+};
+
+struct Stage::PushSession {
+  std::shared_ptr<TeeSink> tee;
+};
+
+struct Stage::PullSession {
+  std::shared_ptr<SharedPagesList> spl;
+};
+
+namespace {
+
+/// Adapts a SharedPagesList's producer side to the PageSink interface and
+/// deregisters the SP session when the host closes.
+class SplSink final : public PageSink {
+ public:
+  SplSink(std::shared_ptr<SharedPagesList> spl, std::function<void()> on_close)
+      : spl_(std::move(spl)), on_close_(std::move(on_close)) {}
+
+  bool Put(PageRef page) override { return spl_->Append(std::move(page)); }
+
+  void Close(Status final) override {
+    spl_->Close(std::move(final));
+    if (on_close_) {
+      on_close_();
+      on_close_ = nullptr;
+    }
+  }
+
+ private:
+  std::shared_ptr<SharedPagesList> spl_;
+  std::function<void()> on_close_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stage
+// ---------------------------------------------------------------------------
+
+Stage::Stage(std::string name, Options options, MetricsRegistry* metrics)
+    : name_(std::move(name)),
+      options_(options),
+      metrics_(metrics),
+      sp_opportunities_(metrics->GetCounter(metrics::kSpOpportunities)),
+      sp_pages_copied_(metrics->GetCounter(metrics::kSpPagesCopied)),
+      sp_bytes_copied_(metrics->GetCounter(metrics::kSpBytesCopied)),
+      pool_(options.initial_workers, options.max_workers) {}
+
+Stage::~Stage() { Shutdown(); }
+
+void Stage::Shutdown() { pool_.Shutdown(); }
+
+void Stage::SetSpMode(SpMode mode) {
+  std::lock_guard<std::mutex> lock(mode_mutex_);
+  options_.sp_mode = mode;
+}
+
+SpMode Stage::sp_mode() const {
+  std::lock_guard<std::mutex> lock(mode_mutex_);
+  return options_.sp_mode;
+}
+
+StageStats Stage::GetStats() const {
+  StageStats stats;
+  stats.packets_submitted = packets_submitted_.load();
+  stats.packets_executed = packets_executed_.load();
+  stats.sp_hits = sp_hits_.load();
+  return stats;
+}
+
+PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
+                                   const MakeInputsFn& make_inputs,
+                                   const PreparePacketFn& prepare) {
+  packets_submitted_.fetch_add(1, std::memory_order_relaxed);
+  const SpMode mode = sp_mode();
+  const uint64_t sig = node->Signature();
+
+  if (mode == SpMode::kPush) {
+    std::unique_lock<std::mutex> lock(registry_mutex_);
+    auto it = push_sessions_.find(sig);
+    if (it != push_sessions_.end()) {
+      auto satellite = std::make_shared<FifoBuffer>(options_.fifo_capacity);
+      if (it->second->tee->TryAttach(satellite)) {
+        sp_hits_.fetch_add(1, std::memory_order_relaxed);
+        sp_opportunities_->Increment();
+        return satellite;
+      }
+      // Window already closed: this session can no longer accept
+      // satellites; replace it with a fresh host below.
+      push_sessions_.erase(it);
+    }
+    lock.unlock();
+    return SubmitFresh(node, ctx, make_inputs, prepare, mode);
+  }
+
+  if (mode == SpMode::kPull) {
+    std::unique_lock<std::mutex> lock(registry_mutex_);
+    auto it = pull_sessions_.find(sig);
+    if (it != pull_sessions_.end()) {
+      if (auto reader = it->second->spl->AttachReader()) {
+        sp_hits_.fetch_add(1, std::memory_order_relaxed);
+        sp_opportunities_->Increment();
+        return reader;
+      }
+      pull_sessions_.erase(it);  // host aborted; start over
+    }
+    lock.unlock();
+    return SubmitFresh(node, ctx, make_inputs, prepare, mode);
+  }
+
+  return SubmitFresh(node, ctx, make_inputs, prepare, mode);
+}
+
+PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
+                                 const MakeInputsFn& make_inputs,
+                                 const PreparePacketFn& prepare, SpMode mode) {
+  const uint64_t sig = node->Signature();
+
+  if (mode == SpMode::kPush) {
+    auto own = std::make_shared<FifoBuffer>(options_.fifo_capacity);
+    auto session = std::make_shared<PushSession>();
+    std::weak_ptr<PushSession> weak = session;
+    session->tee = std::make_shared<TeeSink>(
+        own, sp_pages_copied_, sp_bytes_copied_, [this, sig, weak] {
+          std::lock_guard<std::mutex> lock(registry_mutex_);
+          auto it = push_sessions_.find(sig);
+          if (it != push_sessions_.end() && it->second == weak.lock()) {
+            push_sessions_.erase(it);
+          }
+        });
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      push_sessions_[sig] = session;
+    }
+    Enqueue(std::move(node), std::move(ctx), session->tee, make_inputs,
+            prepare);
+    return own;
+  }
+
+  if (mode == SpMode::kPull) {
+    auto spl = SharedPagesList::Create(metrics_);
+    auto session = std::make_shared<PullSession>();
+    session->spl = spl;
+    std::weak_ptr<PullSession> weak = session;
+    auto reader = spl->AttachReader();
+    SHARING_CHECK(reader != nullptr);
+    auto sink = std::make_shared<SplSink>(spl, [this, sig, weak] {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      auto it = pull_sessions_.find(sig);
+      if (it != pull_sessions_.end() && it->second == weak.lock()) {
+        pull_sessions_.erase(it);
+      }
+    });
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      pull_sessions_[sig] = session;
+    }
+    Enqueue(std::move(node), std::move(ctx), std::move(sink), make_inputs,
+            prepare);
+    return reader;
+  }
+
+  auto fifo = std::make_shared<FifoBuffer>(options_.fifo_capacity);
+  Enqueue(std::move(node), std::move(ctx), fifo, make_inputs, prepare);
+  return fifo;
+}
+
+void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
+                    const MakeInputsFn& make_inputs,
+                    const PreparePacketFn& prepare) {
+  auto packet = std::make_shared<Packet>();
+  packet->node = std::move(node);
+  packet->ctx = std::move(ctx);
+  packet->output = std::move(output);
+  if (make_inputs) packet->inputs = make_inputs();
+  if (prepare) prepare(*packet);
+
+  packets_executed_.fetch_add(1, std::memory_order_relaxed);
+  bool ok = pool_.Submit([this, packet] { RunPacket(*packet); });
+  if (!ok) {
+    packet->output->Close(Status::Aborted("stage shut down"));
+  }
+}
+
+}  // namespace sharing

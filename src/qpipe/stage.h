@@ -1,0 +1,126 @@
+// Stage: QPipe's self-contained operator module — a work queue, a local
+// worker pool, and the Simultaneous Pipelining machinery.
+//
+// SP happens at packet admission: when a submitted packet's plan signature
+// matches an in-flight packet at the same stage, the newcomer becomes a
+// *satellite* of the in-flight *host* and performs no work of its own:
+//
+//  * push mode (original QPipe): the host's TeeSink copies every output
+//    page into the satellite's FIFO. The attach window closes when the
+//    host emits its first page (a late satellite would miss results).
+//  * pull mode (SPL): the satellite attaches a reader to the host's
+//    SharedPagesList and reads the shared pages from the beginning; the
+//    attach window stays open for the host's entire production.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/elastic_pool.h"
+#include "common/metrics.h"
+#include "qpipe/fifo_buffer.h"
+#include "qpipe/packet.h"
+#include "qpipe/shared_pages_list.h"
+#include "qpipe/sp_mode.h"
+
+namespace sharing {
+
+/// Per-stage statistics surfaced by the demo GUI (Scenario IV's key metric
+/// is SP opportunities exploited per stage).
+struct StageStats {
+  int64_t packets_submitted = 0;
+  int64_t packets_executed = 0;  // hosts + unshared
+  int64_t sp_hits = 0;           // satellites served without execution
+};
+
+class Stage {
+ public:
+  struct Options {
+    SpMode sp_mode = SpMode::kOff;
+    std::size_t initial_workers = 2;
+
+    /// Hard cap on the stage's elastic pool. CAUTION: progress can require
+    /// more concurrent packets than the cap — nested same-stage join
+    /// chains, or push-SP fan-outs whose satellite consumers must all
+    /// drain concurrently — and such workloads deadlock under a tight cap
+    /// by design. QPipe sizes pools generously for exactly this reason;
+    /// lower the cap only for controlled single-stage experiments.
+    std::size_t max_workers = 1024;
+
+    std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
+  };
+
+  Stage(std::string name, Options options, MetricsRegistry* metrics);
+  virtual ~Stage();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(Stage);
+
+  /// Lazily produces the packet's input sources. Only invoked when the
+  /// packet will actually execute — a satellite never dispatches its
+  /// sub-plan, which is exactly the work SP saves.
+  using MakeInputsFn = std::function<std::vector<PageSourceRef>()>;
+
+  /// Final per-packet preparation hook (the engine binds scan packets to
+  /// their table and circular-scan group here).
+  using PreparePacketFn = std::function<void(Packet&)>;
+
+  /// Either attaches to an in-flight identical packet (returning a source
+  /// of the shared results) or enqueues a fresh packet (returning a source
+  /// of its output).
+  PageSourceRef SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
+                              const MakeInputsFn& make_inputs,
+                              const PreparePacketFn& prepare = {});
+
+  void SetSpMode(SpMode mode);
+  SpMode sp_mode() const;
+
+  const std::string& name() const { return name_; }
+  StageStats GetStats() const;
+
+  /// Drains and joins the worker pool (also run by the destructor).
+  void Shutdown();
+
+ protected:
+  /// Runs the packet's operator to completion (implemented per stage).
+  virtual void RunPacket(Packet& packet) = 0;
+
+ private:
+  class TeeSink;
+  struct PushSession;
+  struct PullSession;
+
+  PageSourceRef SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
+                            const MakeInputsFn& make_inputs,
+                            const PreparePacketFn& prepare, SpMode mode);
+
+  void Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
+               const MakeInputsFn& make_inputs,
+               const PreparePacketFn& prepare);
+
+  std::string name_;
+  mutable std::mutex mode_mutex_;
+  Options options_;
+  MetricsRegistry* metrics_;
+  Counter* sp_opportunities_;
+  Counter* sp_pages_copied_;
+  Counter* sp_bytes_copied_;
+
+  std::atomic<int64_t> packets_submitted_{0};
+  std::atomic<int64_t> packets_executed_{0};
+  std::atomic<int64_t> sp_hits_{0};
+
+  std::mutex registry_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<PushSession>> push_sessions_;
+  std::unordered_map<uint64_t, std::shared_ptr<PullSession>> pull_sessions_;
+
+  ElasticThreadPool pool_;
+};
+
+}  // namespace sharing

@@ -1,0 +1,47 @@
+// Concrete QPipe stages, one per relational operator. Each binds a Packet
+// to the corresponding operator function from exec/operators.h.
+
+#pragma once
+
+#include "exec/operators.h"
+#include "qpipe/stage.h"
+
+namespace sharing {
+
+class TscanStage final : public Stage {
+ public:
+  TscanStage(Options options, MetricsRegistry* metrics)
+      : Stage("TSCAN", options, metrics) {}
+
+ protected:
+  void RunPacket(Packet& packet) override;
+};
+
+class JoinStage final : public Stage {
+ public:
+  JoinStage(Options options, MetricsRegistry* metrics)
+      : Stage("JOIN", options, metrics) {}
+
+ protected:
+  void RunPacket(Packet& packet) override;
+};
+
+class AggStage final : public Stage {
+ public:
+  AggStage(Options options, MetricsRegistry* metrics)
+      : Stage("AGG", options, metrics) {}
+
+ protected:
+  void RunPacket(Packet& packet) override;
+};
+
+class SortStage final : public Stage {
+ public:
+  SortStage(Options options, MetricsRegistry* metrics)
+      : Stage("SORT", options, metrics) {}
+
+ protected:
+  void RunPacket(Packet& packet) override;
+};
+
+}  // namespace sharing

@@ -1,0 +1,247 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace sharing::sql {
+
+std::string_view AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+// SQL spellings (the exec layer's canonical forms differ, e.g. "==").
+std::string_view SqlCmpSpelling(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view SqlArithSpelling(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool SqlExpr::ContainsAggregate() const {
+  if (kind == Kind::kAggCall) return true;
+  for (const auto& child : children) {
+    if (child->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string SqlExpr::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kColumnRef:
+      if (!qualifier.empty()) out << qualifier << ".";
+      out << column;
+      break;
+    case Kind::kLiteral:
+      out << ValueToString(literal);
+      break;
+    case Kind::kCompare:
+      out << "(" << children[0]->ToString() << " " << SqlCmpSpelling(cmp_op)
+          << " " << children[1]->ToString() << ")";
+      break;
+    case Kind::kArith:
+      out << "(" << children[0]->ToString() << " "
+          << SqlArithSpelling(arith_op) << " " << children[1]->ToString()
+          << ")";
+      break;
+    case Kind::kAnd:
+      out << "(" << children[0]->ToString() << " AND "
+          << children[1]->ToString() << ")";
+      break;
+    case Kind::kOr:
+      out << "(" << children[0]->ToString() << " OR "
+          << children[1]->ToString() << ")";
+      break;
+    case Kind::kNot:
+      out << "(NOT " << children[0]->ToString() << ")";
+      break;
+    case Kind::kBetween:
+      out << "(" << children[0]->ToString() << " BETWEEN "
+          << children[1]->ToString() << " AND " << children[2]->ToString()
+          << ")";
+      break;
+    case Kind::kAggCall:
+      out << AggFuncToString(agg_func) << "(";
+      if (agg_star) {
+        out << "*";
+      } else {
+        out << children[0]->ToString();
+      }
+      out << ")";
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+std::shared_ptr<SqlExpr> NewExpr(SqlExpr::Kind kind) {
+  auto e = std::make_shared<SqlExpr>();
+  e->kind = kind;
+  return e;
+}
+
+}  // namespace
+
+SqlExprRef MakeColumnRef(std::string qualifier, std::string column, int line,
+                         int col) {
+  auto e = NewExpr(SqlExpr::Kind::kColumnRef);
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  e->line = line;
+  e->column_pos = col;
+  return e;
+}
+
+SqlExprRef MakeLiteral(Value v, int line, int col) {
+  auto e = NewExpr(SqlExpr::Kind::kLiteral);
+  e->literal = std::move(v);
+  e->line = line;
+  e->column_pos = col;
+  return e;
+}
+
+SqlExprRef MakeCompare(CmpOp op, SqlExprRef lhs, SqlExprRef rhs) {
+  auto e = NewExpr(SqlExpr::Kind::kCompare);
+  e->cmp_op = op;
+  e->line = lhs->line;
+  e->column_pos = lhs->column_pos;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+SqlExprRef MakeArith(ArithOp op, SqlExprRef lhs, SqlExprRef rhs) {
+  auto e = NewExpr(SqlExpr::Kind::kArith);
+  e->arith_op = op;
+  e->line = lhs->line;
+  e->column_pos = lhs->column_pos;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+SqlExprRef MakeAnd(SqlExprRef lhs, SqlExprRef rhs) {
+  auto e = NewExpr(SqlExpr::Kind::kAnd);
+  e->line = lhs->line;
+  e->column_pos = lhs->column_pos;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+SqlExprRef MakeOr(SqlExprRef lhs, SqlExprRef rhs) {
+  auto e = NewExpr(SqlExpr::Kind::kOr);
+  e->line = lhs->line;
+  e->column_pos = lhs->column_pos;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+SqlExprRef MakeNot(SqlExprRef operand) {
+  auto e = NewExpr(SqlExpr::Kind::kNot);
+  e->line = operand->line;
+  e->column_pos = operand->column_pos;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+SqlExprRef MakeBetween(SqlExprRef value, SqlExprRef lo, SqlExprRef hi) {
+  auto e = NewExpr(SqlExpr::Kind::kBetween);
+  e->line = value->line;
+  e->column_pos = value->column_pos;
+  e->children = {std::move(value), std::move(lo), std::move(hi)};
+  return e;
+}
+
+SqlExprRef MakeAggCall(AggFunc func, SqlExprRef argument, bool star, int line,
+                       int col) {
+  auto e = NewExpr(SqlExpr::Kind::kAggCall);
+  e->agg_func = func;
+  e->agg_star = star;
+  e->line = line;
+  e->column_pos = col;
+  if (argument != nullptr) e->children = {std::move(argument)};
+  return e;
+}
+
+std::string SelectStatement::ToString() const {
+  std::ostringstream out;
+  out << "SELECT ";
+  if (select_star) {
+    out << "*";
+  } else {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) out << ", ";
+      out << items[i].expr->ToString();
+      if (!items[i].alias.empty()) out << " AS " << items[i].alias;
+    }
+  }
+  out << " FROM " << from.table;
+  if (from.alias != from.table) out << " AS " << from.alias;
+  for (const auto& join : joins) {
+    out << " JOIN " << join.table.table;
+    if (join.table.alias != join.table.table) {
+      out << " AS " << join.table.alias;
+    }
+    out << " ON " << join.condition->ToString();
+  }
+  if (where) out << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    out << " GROUP BY ";
+    for (std::size_t i = 0; i < group_by.size(); ++i) {
+      if (i) out << ", ";
+      out << group_by[i]->ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    out << " ORDER BY ";
+    for (std::size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out << ", ";
+      out << order_by[i].name << (order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (has_limit) out << " LIMIT " << limit;
+  return out.str();
+}
+
+}  // namespace sharing::sql

@@ -1,0 +1,135 @@
+// SQL abstract syntax tree (unbound).
+//
+// The parser produces this name-based tree; the binder resolves names
+// against the catalog and lowers it to the engine's PlanNode/Expr layer.
+// Keeping the two layers separate means parse errors carry source
+// positions while plan signatures stay purely structural.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/expr.h"
+
+namespace sharing::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct SqlExpr;
+using SqlExprRef = std::shared_ptr<const SqlExpr>;
+
+/// Aggregate functions usable in a select list.
+enum class AggFunc : uint8_t { kSum, kCount, kAvg, kMin, kMax };
+
+std::string_view AggFuncToString(AggFunc func);
+
+struct SqlExpr {
+  enum class Kind : uint8_t {
+    kColumnRef,  // [qualifier.]name
+    kLiteral,    // int / double / string / date
+    kCompare,    // lhs op rhs
+    kArith,      // lhs op rhs
+    kAnd,
+    kOr,
+    kNot,
+    kBetween,    // value BETWEEN lo AND hi
+    kAggCall,    // SUM(expr) / COUNT(*) / ...
+  };
+
+  Kind kind;
+
+  // kColumnRef.
+  std::string qualifier;  // table name or alias; empty if unqualified
+  std::string column;
+
+  // kLiteral.
+  Value literal;
+
+  // kCompare / kArith.
+  CmpOp cmp_op = CmpOp::kEq;
+  ArithOp arith_op = ArithOp::kAdd;
+
+  // kAggCall.
+  AggFunc agg_func = AggFunc::kCount;
+  bool agg_star = false;  // COUNT(*)
+
+  // Children: operands for compare/arith/and/or/not/between/agg.
+  std::vector<SqlExprRef> children;
+
+  // Source position of the expression's head token.
+  int line = 0;
+  int column_pos = 0;
+
+  /// True if this subtree contains an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Debug rendering (tests and error messages).
+  std::string ToString() const;
+};
+
+SqlExprRef MakeColumnRef(std::string qualifier, std::string column, int line,
+                         int col);
+SqlExprRef MakeLiteral(Value v, int line, int col);
+SqlExprRef MakeCompare(CmpOp op, SqlExprRef lhs, SqlExprRef rhs);
+SqlExprRef MakeArith(ArithOp op, SqlExprRef lhs, SqlExprRef rhs);
+SqlExprRef MakeAnd(SqlExprRef lhs, SqlExprRef rhs);
+SqlExprRef MakeOr(SqlExprRef lhs, SqlExprRef rhs);
+SqlExprRef MakeNot(SqlExprRef operand);
+SqlExprRef MakeBetween(SqlExprRef value, SqlExprRef lo, SqlExprRef hi);
+SqlExprRef MakeAggCall(AggFunc func, SqlExprRef argument, bool star, int line,
+                       int col);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  SqlExprRef expr;
+  std::string alias;  // empty if none
+};
+
+struct TableRef {
+  std::string table;  // catalog name
+  std::string alias;  // defaults to table name
+  int line = 0;
+  int column = 0;
+};
+
+struct JoinClause {
+  TableRef table;
+  SqlExprRef condition;  // the ON expression
+};
+
+struct OrderItem {
+  std::string name;  // output column name or select alias
+  bool ascending = true;
+  int line = 0;
+  int column = 0;
+};
+
+/// One parsed SELECT statement.
+struct SelectStatement {
+  bool select_star = false;
+  std::vector<SelectItem> items;  // empty iff select_star
+
+  TableRef from;
+  std::vector<JoinClause> joins;
+
+  SqlExprRef where;  // null if absent
+
+  std::vector<SqlExprRef> group_by;  // column refs
+
+  std::vector<OrderItem> order_by;
+  uint64_t limit = 0;  // 0 = no limit
+  bool has_limit = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace sharing::sql

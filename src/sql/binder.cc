@@ -1,0 +1,632 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "sql/parser.h"
+
+namespace sharing::sql {
+
+namespace {
+
+std::string At(const SqlExpr& e) {
+  return std::to_string(e.line) + ":" + std::to_string(e.column_pos) + ": ";
+}
+
+class Binder {
+ public:
+  Binder(const Catalog& catalog, const SelectStatement& stmt)
+      : catalog_(catalog), stmt_(stmt) {}
+
+  StatusOr<PlanNodeRef> Run() {
+    SHARING_RETURN_NOT_OK(ResolveTables());
+    SHARING_RETURN_NOT_OK(AssignWhereConjuncts());
+    SHARING_RETURN_NOT_OK(CollectNeededColumns());
+
+    const bool has_aggs =
+        !stmt_.group_by.empty() ||
+        std::any_of(stmt_.items.begin(), stmt_.items.end(),
+                    [](const SelectItem& item) {
+                      return item.expr->ContainsAggregate();
+                    });
+    if (!has_aggs) {
+      // Plain select lists constrain the projection up front (the engine
+      // has no standalone projection operator above joins).
+      SHARING_RETURN_NOT_OK(PlanPlainSelectList());
+    }
+
+    PlanNodeRef plan;
+    SHARING_ASSIGN_OR_RETURN(plan, BuildJoinTree());
+    if (has_aggs) {
+      SHARING_ASSIGN_OR_RETURN(plan, BuildAggregate(std::move(plan)));
+    }
+
+    if (!stmt_.order_by.empty()) {
+      SHARING_ASSIGN_OR_RETURN(plan, BuildSort(std::move(plan)));
+    } else if (stmt_.has_limit) {
+      return Status::NotImplemented(
+          "LIMIT without ORDER BY (the engine evaluates LIMIT as top-k "
+          "through the sort stage)");
+    }
+    return plan;
+  }
+
+ private:
+  /// A column pinned to a bound table: indexes into that table's schema.
+  struct ColumnId {
+    std::size_t table = 0;
+    std::size_t column = 0;
+  };
+
+  struct BoundTable {
+    std::string alias;
+    const Table* table = nullptr;
+    ExprRef predicate;                   // conjunction of pushed conjuncts
+    std::vector<std::size_t> projection; // table-schema indices, ascending
+  };
+
+  // -------------------------------------------------------------------------
+  // Name resolution
+  // -------------------------------------------------------------------------
+
+  Status ResolveTables() {
+    auto add = [&](const TableRef& ref) -> Status {
+      for (const auto& bound : tables_) {
+        if (bound.alias == ref.alias) {
+          return Status::InvalidArgument(
+              std::to_string(ref.line) + ":" + std::to_string(ref.column) +
+              ": duplicate table alias '" + ref.alias + "'");
+        }
+      }
+      auto table_or = catalog_.GetTable(ref.table);
+      if (!table_or.ok()) {
+        return Status::InvalidArgument(
+            std::to_string(ref.line) + ":" + std::to_string(ref.column) +
+            ": unknown table '" + ref.table + "'");
+      }
+      tables_.push_back(BoundTable{ref.alias, table_or.value(), nullptr, {}});
+      return Status::OK();
+    };
+    SHARING_RETURN_NOT_OK(add(stmt_.from));
+    for (const auto& join : stmt_.joins) {
+      SHARING_RETURN_NOT_OK(add(join.table));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<ColumnId> ResolveColumn(const SqlExpr& ref) const {
+    SHARING_DCHECK(ref.kind == SqlExpr::Kind::kColumnRef);
+    if (!ref.qualifier.empty()) {
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        if (tables_[t].alias != ref.qualifier) continue;
+        auto idx = tables_[t].table->schema().ColumnIndex(ref.column);
+        if (!idx.ok()) {
+          return Status::InvalidArgument(At(ref) + "table '" + ref.qualifier +
+                                         "' has no column '" + ref.column +
+                                         "'");
+        }
+        return ColumnId{t, idx.value()};
+      }
+      return Status::InvalidArgument(At(ref) + "unknown table alias '" +
+                                     ref.qualifier + "'");
+    }
+    bool found = false;
+    ColumnId id;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      auto idx = tables_[t].table->schema().ColumnIndex(ref.column);
+      if (!idx.ok()) continue;
+      if (found) {
+        return Status::InvalidArgument(At(ref) + "ambiguous column '" +
+                                       ref.column + "' (qualify it)");
+      }
+      found = true;
+      id = ColumnId{t, idx.value()};
+    }
+    if (!found) {
+      return Status::InvalidArgument(At(ref) + "unknown column '" +
+                                     ref.column + "'");
+    }
+    return id;
+  }
+
+  /// Collects every column referenced in `expr` into `out`; fails on
+  /// aggregates (callers handle those separately).
+  Status CollectColumns(const SqlExprRef& expr,
+                        std::vector<ColumnId>* out) const {
+    if (expr->kind == SqlExpr::Kind::kColumnRef) {
+      ColumnId id;
+      SHARING_ASSIGN_OR_RETURN(id, ResolveColumn(*expr));
+      out->push_back(id);
+      return Status::OK();
+    }
+    for (const auto& child : expr->children) {
+      SHARING_RETURN_NOT_OK(CollectColumns(child, out));
+    }
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------------
+  // WHERE pushdown
+  // -------------------------------------------------------------------------
+
+  static void SplitConjuncts(const SqlExprRef& expr,
+                             std::vector<SqlExprRef>* out) {
+    if (expr->kind == SqlExpr::Kind::kAnd) {
+      SplitConjuncts(expr->children[0], out);
+      SplitConjuncts(expr->children[1], out);
+      return;
+    }
+    out->push_back(expr);
+  }
+
+  Status AssignWhereConjuncts() {
+    if (!stmt_.where) return Status::OK();
+    if (stmt_.where->ContainsAggregate()) {
+      return Status::InvalidArgument(At(*stmt_.where) +
+                                     "aggregates are not allowed in WHERE");
+    }
+    std::vector<SqlExprRef> conjuncts;
+    SplitConjuncts(stmt_.where, &conjuncts);
+    conjuncts_per_table_.resize(tables_.size());
+    for (const auto& conjunct : conjuncts) {
+      std::vector<ColumnId> columns;
+      SHARING_RETURN_NOT_OK(CollectColumns(conjunct, &columns));
+      if (columns.empty()) {
+        return Status::NotImplemented(At(*conjunct) +
+                                     "constant WHERE conjunct");
+      }
+      std::size_t table = columns[0].table;
+      for (const auto& id : columns) {
+        if (id.table != table) {
+          return Status::NotImplemented(
+              At(*conjunct) +
+              "WHERE conjunct spans multiple tables; only per-table "
+              "predicates and JOIN ... ON equi-joins are supported: " +
+              conjunct->ToString());
+        }
+      }
+      conjuncts_per_table_[table].push_back(conjunct);
+    }
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------------
+  // Projection planning
+  // -------------------------------------------------------------------------
+
+  Status Need(const SqlExprRef& expr) {
+    std::vector<ColumnId> columns;
+    SHARING_RETURN_NOT_OK(CollectColumns(expr, &columns));
+    for (const auto& id : columns) needed_[id.table].insert(id.column);
+    return Status::OK();
+  }
+
+  Status CollectNeededColumns() {
+    needed_.resize(tables_.size());
+    if (stmt_.select_star) {
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        for (std::size_t c = 0; c < tables_[t].table->schema().num_columns();
+             ++c) {
+          needed_[t].insert(c);
+        }
+      }
+    }
+    for (const auto& item : stmt_.items) {
+      if (item.expr->kind == SqlExpr::Kind::kAggCall && item.expr->agg_star) {
+        continue;  // COUNT(*) needs no columns
+      }
+      SHARING_RETURN_NOT_OK(Need(item.expr));
+    }
+    for (const auto& group : stmt_.group_by) {
+      SHARING_RETURN_NOT_OK(Need(group));
+    }
+    for (const auto& join : stmt_.joins) {
+      SHARING_RETURN_NOT_OK(Need(join.condition));
+    }
+    // WHERE columns are evaluated against full table rows at the scans, so
+    // they do not widen projections. Ensure every table projects at least
+    // one column (an empty projection would make rows width-0).
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      if (needed_[t].empty()) needed_[t].insert(0);
+      tables_[t].projection.assign(needed_[t].begin(), needed_[t].end());
+    }
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------------
+  // Expression lowering
+  // -------------------------------------------------------------------------
+
+  /// Scope: resolves a ColumnId to (index, type) in the rows the bound
+  /// expression will see.
+  using Scope =
+      std::function<StatusOr<std::pair<std::size_t, ValueType>>(ColumnId)>;
+
+  StatusOr<ExprRef> Lower(const SqlExprRef& expr, const Scope& scope) const {
+    switch (expr->kind) {
+      case SqlExpr::Kind::kColumnRef: {
+        ColumnId id;
+        SHARING_ASSIGN_OR_RETURN(id, ResolveColumn(*expr));
+        std::pair<std::size_t, ValueType> slot;
+        SHARING_ASSIGN_OR_RETURN(slot, scope(id));
+        return Col(slot.first, slot.second);
+      }
+      case SqlExpr::Kind::kLiteral:
+        return Lit(expr->literal);
+      case SqlExpr::Kind::kCompare: {
+        ExprRef lhs;
+        ExprRef rhs;
+        SHARING_ASSIGN_OR_RETURN(lhs, Lower(expr->children[0], scope));
+        SHARING_ASSIGN_OR_RETURN(rhs, Lower(expr->children[1], scope));
+        return Cmp(expr->cmp_op, std::move(lhs), std::move(rhs));
+      }
+      case SqlExpr::Kind::kArith: {
+        ExprRef lhs;
+        ExprRef rhs;
+        SHARING_ASSIGN_OR_RETURN(lhs, Lower(expr->children[0], scope));
+        SHARING_ASSIGN_OR_RETURN(rhs, Lower(expr->children[1], scope));
+        return Arith(expr->arith_op, std::move(lhs), std::move(rhs));
+      }
+      case SqlExpr::Kind::kAnd: {
+        ExprRef lhs;
+        ExprRef rhs;
+        SHARING_ASSIGN_OR_RETURN(lhs, Lower(expr->children[0], scope));
+        SHARING_ASSIGN_OR_RETURN(rhs, Lower(expr->children[1], scope));
+        return And(std::move(lhs), std::move(rhs));
+      }
+      case SqlExpr::Kind::kOr: {
+        ExprRef lhs;
+        ExprRef rhs;
+        SHARING_ASSIGN_OR_RETURN(lhs, Lower(expr->children[0], scope));
+        SHARING_ASSIGN_OR_RETURN(rhs, Lower(expr->children[1], scope));
+        return Or(std::move(lhs), std::move(rhs));
+      }
+      case SqlExpr::Kind::kNot: {
+        ExprRef inner;
+        SHARING_ASSIGN_OR_RETURN(inner, Lower(expr->children[0], scope));
+        return Not(std::move(inner));
+      }
+      case SqlExpr::Kind::kBetween: {
+        ExprRef value;
+        ExprRef lo;
+        ExprRef hi;
+        SHARING_ASSIGN_OR_RETURN(value, Lower(expr->children[0], scope));
+        SHARING_ASSIGN_OR_RETURN(lo, Lower(expr->children[1], scope));
+        SHARING_ASSIGN_OR_RETURN(hi, Lower(expr->children[2], scope));
+        ExprRef lower_bound = Cmp(CmpOp::kLe, std::move(lo), value);
+        ExprRef upper_bound = Cmp(CmpOp::kLe, std::move(value), std::move(hi));
+        return And(std::move(lower_bound), std::move(upper_bound));
+      }
+      case SqlExpr::Kind::kAggCall:
+        return Status::InvalidArgument(
+            At(*expr) + "aggregate call outside a select list");
+    }
+    return Status::InvalidArgument("unreachable expression kind");
+  }
+
+  /// Scope over one table's full-width rows (scan predicates).
+  Scope TableScope(std::size_t table) const {
+    return [this, table](ColumnId id)
+               -> StatusOr<std::pair<std::size_t, ValueType>> {
+      if (id.table != table) {
+        return Status::Internal("conjunct bound to the wrong table");
+      }
+      const Column& column = tables_[table].table->schema().column(id.column);
+      return std::make_pair(id.column, column.type);
+    };
+  }
+
+  /// Scope over the join tree's output (lineage_ positions).
+  Scope PlanScope() const {
+    return [this](ColumnId id)
+               -> StatusOr<std::pair<std::size_t, ValueType>> {
+      for (std::size_t i = 0; i < lineage_.size(); ++i) {
+        if (lineage_[i].table == id.table &&
+            lineage_[i].column == id.column) {
+          const Column& column =
+              tables_[id.table].table->schema().column(id.column);
+          return std::make_pair(i, column.type);
+        }
+      }
+      return Status::Internal(
+          "column missing from join output lineage");
+    };
+  }
+
+  // -------------------------------------------------------------------------
+  // Plan construction
+  // -------------------------------------------------------------------------
+
+  StatusOr<PlanNodeRef> BuildScan(std::size_t table) {
+    BoundTable& bound = tables_[table];
+    ExprRef predicate = TruePredicate();
+    if (table < conjuncts_per_table_.size()) {
+      std::vector<ExprRef> lowered;
+      for (const auto& conjunct : conjuncts_per_table_[table]) {
+        ExprRef e;
+        SHARING_ASSIGN_OR_RETURN(e, Lower(conjunct, TableScope(table)));
+        lowered.push_back(std::move(e));
+      }
+      if (!lowered.empty()) predicate = And(std::move(lowered));
+    }
+    return PlanNodeRef(std::make_shared<ScanNode>(
+        bound.table->name(), bound.table->schema(), predicate,
+        bound.projection));
+  }
+
+  /// Position of `id` within a single table's projection.
+  StatusOr<std::size_t> ProjectedIndex(ColumnId id) const {
+    const auto& projection = tables_[id.table].projection;
+    auto it = std::find(projection.begin(), projection.end(), id.column);
+    if (it == projection.end()) {
+      return Status::Internal("join key missing from projection");
+    }
+    return static_cast<std::size_t>(it - projection.begin());
+  }
+
+  StatusOr<PlanNodeRef> BuildJoinTree() {
+    PlanNodeRef plan;
+    SHARING_ASSIGN_OR_RETURN(plan, BuildScan(0));
+    lineage_.clear();
+    for (std::size_t column : tables_[0].projection) {
+      lineage_.push_back(ColumnId{0, column});
+    }
+
+    for (std::size_t j = 0; j < stmt_.joins.size(); ++j) {
+      const std::size_t table = j + 1;
+      ColumnId build_key;
+      ColumnId probe_key;
+      SHARING_RETURN_NOT_OK(
+          ResolveJoinKeys(stmt_.joins[j], table, &build_key, &probe_key));
+
+      PlanNodeRef build;
+      SHARING_ASSIGN_OR_RETURN(build, BuildScan(table));
+      std::size_t build_pos;
+      SHARING_ASSIGN_OR_RETURN(build_pos, ProjectedIndex(build_key));
+      std::size_t probe_pos = 0;
+      bool found = false;
+      for (std::size_t i = 0; i < lineage_.size(); ++i) {
+        if (lineage_[i].table == probe_key.table &&
+            lineage_[i].column == probe_key.column) {
+          probe_pos = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Internal("probe key missing from lineage");
+      }
+
+      plan = std::make_shared<JoinNode>(std::move(build), std::move(plan),
+                                        build_pos, probe_pos);
+      // Join output: build block then probe block.
+      std::vector<ColumnId> lineage;
+      for (std::size_t column : tables_[table].projection) {
+        lineage.push_back(ColumnId{table, column});
+      }
+      lineage.insert(lineage.end(), lineage_.begin(), lineage_.end());
+      lineage_ = std::move(lineage);
+    }
+    return plan;
+  }
+
+  Status ResolveJoinKeys(const JoinClause& join, std::size_t new_table,
+                         ColumnId* build_key, ColumnId* probe_key) const {
+    const SqlExpr& cond = *join.condition;
+    if (cond.kind != SqlExpr::Kind::kCompare || cond.cmp_op != CmpOp::kEq ||
+        cond.children[0]->kind != SqlExpr::Kind::kColumnRef ||
+        cond.children[1]->kind != SqlExpr::Kind::kColumnRef) {
+      return Status::NotImplemented(
+          At(cond) +
+          "JOIN condition must be a single-column equality (a.x = b.y): " +
+          cond.ToString());
+    }
+    ColumnId lhs;
+    ColumnId rhs;
+    SHARING_ASSIGN_OR_RETURN(lhs, ResolveColumn(*cond.children[0]));
+    SHARING_ASSIGN_OR_RETURN(rhs, ResolveColumn(*cond.children[1]));
+    if (lhs.table == new_table && rhs.table < new_table) {
+      *build_key = lhs;
+      *probe_key = rhs;
+    } else if (rhs.table == new_table && lhs.table < new_table) {
+      *build_key = rhs;
+      *probe_key = lhs;
+    } else {
+      return Status::NotImplemented(
+          At(cond) +
+          "JOIN condition must link the joined table to an earlier one");
+    }
+    auto type_of = [&](ColumnId id) {
+      return tables_[id.table].table->schema().column(id.column).type;
+    };
+    if (type_of(*build_key) != ValueType::kInt64 ||
+        type_of(*probe_key) != ValueType::kInt64) {
+      return Status::NotImplemented(
+          At(cond) + "only int64 equi-join keys are supported");
+    }
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------------
+  // Aggregation
+  // -------------------------------------------------------------------------
+
+  StatusOr<PlanNodeRef> BuildAggregate(PlanNodeRef child) {
+    // Resolve GROUP BY entries to child-output positions.
+    std::vector<std::size_t> group_positions;
+    std::vector<ColumnId> group_ids;
+    for (const auto& group : stmt_.group_by) {
+      if (group->kind != SqlExpr::Kind::kColumnRef) {
+        return Status::NotImplemented(At(*group) +
+                                     "GROUP BY supports plain columns only");
+      }
+      ColumnId id;
+      SHARING_ASSIGN_OR_RETURN(id, ResolveColumn(*group));
+      std::pair<std::size_t, ValueType> slot;
+      SHARING_ASSIGN_OR_RETURN(slot, PlanScope()(id));
+      group_positions.push_back(slot.first);
+      group_ids.push_back(id);
+    }
+
+    if (stmt_.select_star) {
+      return Status::InvalidArgument(
+          "SELECT * cannot be combined with aggregation");
+    }
+
+    // Select items: group columns first (in GROUP BY order), then
+    // aggregates — matching the aggregate operator's output layout.
+    std::vector<AggSpec> aggs;
+    std::set<std::string> used_names;
+    std::size_t group_seen = 0;
+    for (const auto& item : stmt_.items) {
+      if (item.expr->kind == SqlExpr::Kind::kColumnRef) {
+        ColumnId id;
+        SHARING_ASSIGN_OR_RETURN(id, ResolveColumn(*item.expr));
+        if (group_seen >= group_ids.size() ||
+            group_ids[group_seen].table != id.table ||
+            group_ids[group_seen].column != id.column) {
+          return Status::NotImplemented(
+              At(*item.expr) + "select item '" + item.expr->ToString() +
+              "' must list the GROUP BY columns first, in GROUP BY order");
+        }
+        ++group_seen;
+        continue;
+      }
+      if (item.expr->kind != SqlExpr::Kind::kAggCall) {
+        return Status::NotImplemented(
+            At(*item.expr) +
+            "select items in an aggregate query must be GROUP BY columns "
+            "or aggregate calls: " +
+            item.expr->ToString());
+      }
+      if (group_seen < group_ids.size()) {
+        // The aggregate operator emits group columns first; accepting an
+        // aggregate here would silently reorder the caller's select list.
+        return Status::NotImplemented(
+            At(*item.expr) +
+            "list all GROUP BY columns before the aggregates");
+      }
+      AggSpec spec;
+      SHARING_ASSIGN_OR_RETURN(spec, LowerAgg(*item.expr, item.alias,
+                                              &used_names));
+      aggs.push_back(std::move(spec));
+    }
+    if (group_seen != group_ids.size()) {
+      return Status::NotImplemented(
+          "every GROUP BY column must appear in the select list");
+    }
+
+    return PlanNodeRef(std::make_shared<AggregateNode>(
+        std::move(child), std::move(group_positions), std::move(aggs)));
+  }
+
+  StatusOr<AggSpec> LowerAgg(const SqlExpr& call, const std::string& alias,
+                             std::set<std::string>* used_names) const {
+    std::string name = alias;
+    if (name.empty()) {
+      name = std::string(AggFuncToString(call.agg_func));
+      if (!call.agg_star &&
+          call.children[0]->kind == SqlExpr::Kind::kColumnRef) {
+        name += "_" + call.children[0]->column;
+      }
+    }
+    std::string unique = name;
+    for (int suffix = 2; used_names->count(unique) > 0; ++suffix) {
+      unique = name + "_" + std::to_string(suffix);
+    }
+    used_names->insert(unique);
+
+    if (call.agg_star) {
+      return AggSpec::Count(std::move(unique));
+    }
+    ExprRef input;
+    SHARING_ASSIGN_OR_RETURN(input, Lower(call.children[0], PlanScope()));
+    switch (call.agg_func) {
+      case AggFunc::kSum:
+        return AggSpec::Sum(std::move(input), std::move(unique));
+      case AggFunc::kCount:
+        // COUNT(expr) over non-null fixed-width rows == COUNT(*).
+        return AggSpec::Count(std::move(unique));
+      case AggFunc::kAvg:
+        return AggSpec::Avg(std::move(input), std::move(unique));
+      case AggFunc::kMin:
+        return AggSpec::Min(std::move(input), std::move(unique));
+      case AggFunc::kMax:
+        return AggSpec::Max(std::move(input), std::move(unique));
+    }
+    return Status::Internal("unreachable aggregate function");
+  }
+
+  // -------------------------------------------------------------------------
+  // Plain (non-aggregate) select lists
+  // -------------------------------------------------------------------------
+
+  /// Validates a non-aggregate select list and, for the single-table case,
+  /// makes the scan projection follow the select-list order. Runs before
+  /// plan construction.
+  Status PlanPlainSelectList() {
+    if (stmt_.select_star) return Status::OK();
+    if (tables_.size() > 1) {
+      // The join output's column order is fixed by the join tree; an
+      // arbitrary select order would need a projection operator above the
+      // join, which the engine's stage repertoire does not include.
+      return Status::NotImplemented(
+          "multi-table queries support SELECT * or aggregation (add an "
+          "aggregate or select every column)");
+    }
+    std::vector<std::size_t> projection;
+    for (const auto& item : stmt_.items) {
+      if (item.expr->kind != SqlExpr::Kind::kColumnRef) {
+        return Status::NotImplemented(
+            At(*item.expr) +
+            "computed select items are only supported inside aggregates");
+      }
+      ColumnId id;
+      SHARING_ASSIGN_OR_RETURN(id, ResolveColumn(*item.expr));
+      projection.push_back(id.column);
+    }
+    tables_[0].projection = std::move(projection);
+    return Status::OK();
+  }
+  StatusOr<PlanNodeRef> BuildSort(PlanNodeRef child) {
+    const Schema& schema = child->output_schema();
+    std::vector<SortKey> keys;
+    for (const auto& item : stmt_.order_by) {
+      auto idx = schema.ColumnIndex(item.name);
+      if (!idx.ok()) {
+        return Status::InvalidArgument(
+            std::to_string(item.line) + ":" + std::to_string(item.column) +
+            ": ORDER BY column '" + item.name +
+            "' is not in the output (available: " + schema.ToString() + ")");
+      }
+      keys.push_back(SortKey{idx.value(), item.ascending});
+    }
+    return PlanNodeRef(std::make_shared<SortNode>(
+        std::move(child), std::move(keys), stmt_.has_limit ? stmt_.limit : 0));
+  }
+
+  const Catalog& catalog_;
+  const SelectStatement& stmt_;
+
+  std::vector<BoundTable> tables_;
+  std::vector<std::vector<SqlExprRef>> conjuncts_per_table_;
+  std::vector<std::set<std::size_t>> needed_;
+  std::vector<ColumnId> lineage_;
+};
+
+}  // namespace
+
+StatusOr<PlanNodeRef> BindSelect(const Catalog& catalog,
+                                 const SelectStatement& stmt) {
+  return Binder(catalog, stmt).Run();
+}
+
+StatusOr<PlanNodeRef> CompileSelect(const Catalog& catalog,
+                                    std::string_view sql) {
+  SelectStatement stmt;
+  SHARING_ASSIGN_OR_RETURN(stmt, ParseSelect(sql));
+  return BindSelect(catalog, stmt);
+}
+
+}  // namespace sharing::sql

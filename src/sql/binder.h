@@ -1,0 +1,38 @@
+// SQL binder: SelectStatement + Catalog -> executable PlanNode tree.
+//
+// The binder performs name resolution and lowers the statement onto the
+// engine's operator repertoire:
+//
+//  * every WHERE conjunct is pushed down to the scan of the one table it
+//    references (cross-table residual predicates are reported as
+//    unsupported rather than silently mis-evaluated);
+//  * JOIN ... ON clauses must be single-column int64 equi-joins; joins
+//    build left-deep in statement order with the newly joined table on the
+//    build side (dimensions join facts, as in the star workloads);
+//  * GROUP BY / aggregate select lists lower to AggregateNode; ORDER BY /
+//    LIMIT lower to SortNode (top-k when LIMIT is present).
+//
+// The subset is exactly what the paper's workloads (TPC-H Q1/Q6, the 13
+// SSB queries, the demo's parameterized star template) need, with clear
+// errors at the boundary.
+
+#pragma once
+
+#include <string_view>
+
+#include "common/status_or.h"
+#include "exec/plan.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace sharing::sql {
+
+/// Binds a parsed statement against `catalog`.
+StatusOr<PlanNodeRef> BindSelect(const Catalog& catalog,
+                                 const SelectStatement& stmt);
+
+/// Parse + bind in one step: SQL text to executable plan.
+StatusOr<PlanNodeRef> CompileSelect(const Catalog& catalog,
+                                    std::string_view sql);
+
+}  // namespace sharing::sql

@@ -1,0 +1,17 @@
+// SQL lexer: source text -> token stream.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "sql/token.h"
+
+namespace sharing::sql {
+
+/// Tokenizes `source`. The returned vector always ends with a kEof token.
+/// Errors carry the offending position ("3:14: unexpected character ...").
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace sharing::sql

@@ -1,0 +1,452 @@
+#include "sql/parser.h"
+
+#include <cstdio>
+
+#include "sql/lexer.h"
+
+namespace sharing::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectStatement> Run() {
+    SelectStatement stmt;
+    SHARING_RETURN_NOT_OK(ParseSelect(&stmt));
+    if (Check(TokenKind::kSemicolon)) Advance();
+    if (!Check(TokenKind::kEof)) {
+      return ErrorAtCurrent("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  bool Check(TokenKind kind) const { return Current().kind == kind; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ErrorAtCurrent(const std::string& message) const {
+    return Status::InvalidArgument(Current().Position() + ": " + message +
+                                   " (got " +
+                                   std::string(TokenKindToString(
+                                       Current().kind)) +
+                                   ")");
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Check(kind)) {
+      return ErrorAtCurrent(std::string("expected ") + what);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// Soft keywords: words that are keywords only by position (DATE before
+  /// a string literal, aggregate functions before '('). Everywhere a name
+  /// is expected they act as plain identifiers, so tables like SSB's
+  /// `date` or a column called `count` remain addressable.
+  static bool IsNameLike(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kIdentifier:
+      case TokenKind::kDate:
+      case TokenKind::kSum:
+      case TokenKind::kCount:
+      case TokenKind::kAvg:
+      case TokenKind::kMin:
+      case TokenKind::kMax:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  const Token& PeekNext() const {
+    return pos_ + 1 < tokens_.size() ? tokens_[pos_ + 1] : tokens_.back();
+  }
+
+  static bool IsAggKeyword(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kSum:
+      case TokenKind::kCount:
+      case TokenKind::kAvg:
+      case TokenKind::kMin:
+      case TokenKind::kMax:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static AggFunc AggFuncFor(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kSum:
+        return AggFunc::kSum;
+      case TokenKind::kCount:
+        return AggFunc::kCount;
+      case TokenKind::kAvg:
+        return AggFunc::kAvg;
+      case TokenKind::kMin:
+        return AggFunc::kMin;
+      default:
+        return AggFunc::kMax;
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Statement structure
+  // -------------------------------------------------------------------------
+
+  Status ParseSelect(SelectStatement* stmt) {
+    SHARING_RETURN_NOT_OK(Expect(TokenKind::kSelect, "SELECT"));
+
+    if (Match(TokenKind::kStar)) {
+      stmt->select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        SHARING_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Match(TokenKind::kAs)) {
+          if (!Check(TokenKind::kIdentifier)) {
+            return ErrorAtCurrent("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        } else if (Check(TokenKind::kIdentifier)) {
+          item.alias = Advance().text;
+        }
+        stmt->items.push_back(std::move(item));
+      } while (Match(TokenKind::kComma));
+    }
+
+    SHARING_RETURN_NOT_OK(Expect(TokenKind::kFrom, "FROM"));
+    SHARING_RETURN_NOT_OK(ParseTableRef(&stmt->from));
+
+    while (Check(TokenKind::kJoin) || Check(TokenKind::kInner)) {
+      if (Match(TokenKind::kInner)) {
+        SHARING_RETURN_NOT_OK(Expect(TokenKind::kJoin, "JOIN after INNER"));
+      } else {
+        Advance();  // JOIN
+      }
+      JoinClause join;
+      SHARING_RETURN_NOT_OK(ParseTableRef(&join.table));
+      SHARING_RETURN_NOT_OK(Expect(TokenKind::kOn, "ON"));
+      SHARING_ASSIGN_OR_RETURN(join.condition, ParseExpr());
+      stmt->joins.push_back(std::move(join));
+    }
+
+    if (Match(TokenKind::kWhere)) {
+      SHARING_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+
+    if (Match(TokenKind::kGroup)) {
+      SHARING_RETURN_NOT_OK(Expect(TokenKind::kBy, "BY after GROUP"));
+      do {
+        SqlExprRef ref;
+        SHARING_ASSIGN_OR_RETURN(ref, ParseColumnRef());
+        stmt->group_by.push_back(std::move(ref));
+      } while (Match(TokenKind::kComma));
+    }
+
+    if (Match(TokenKind::kOrder)) {
+      SHARING_RETURN_NOT_OK(Expect(TokenKind::kBy, "BY after ORDER"));
+      do {
+        if (!Check(TokenKind::kIdentifier)) {
+          return ErrorAtCurrent("expected output column name in ORDER BY");
+        }
+        OrderItem item;
+        const Token& name = Advance();
+        item.name = name.text;
+        item.line = name.line;
+        item.column = name.column;
+        if (Match(TokenKind::kDesc)) {
+          item.ascending = false;
+        } else {
+          Match(TokenKind::kAsc);
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Match(TokenKind::kComma));
+    }
+
+    if (Match(TokenKind::kLimit)) {
+      if (!Check(TokenKind::kIntLiteral)) {
+        return ErrorAtCurrent("expected integer after LIMIT");
+      }
+      const Token& n = Advance();
+      if (n.int_value <= 0) {
+        return Status::InvalidArgument(n.Position() +
+                                       ": LIMIT must be positive");
+      }
+      stmt->limit = static_cast<uint64_t>(n.int_value);
+      stmt->has_limit = true;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(TableRef* ref) {
+    if (!IsNameLike(Current().kind)) {
+      return ErrorAtCurrent("expected table name");
+    }
+    const Token& name = Advance();
+    ref->table = name.text;
+    ref->alias = name.text;
+    ref->line = name.line;
+    ref->column = name.column;
+    if (Match(TokenKind::kAs)) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAtCurrent("expected alias after AS");
+      }
+      ref->alias = Advance().text;
+    } else if (Check(TokenKind::kIdentifier)) {
+      ref->alias = Advance().text;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<SqlExprRef> ParseColumnRef() {
+    if (!IsNameLike(Current().kind)) {
+      return ErrorAtCurrent("expected column reference");
+    }
+    const Token& first = Advance();
+    if (Match(TokenKind::kDot)) {
+      if (!IsNameLike(Current().kind)) {
+        return ErrorAtCurrent("expected column name after '.'");
+      }
+      const Token& second = Advance();
+      return MakeColumnRef(first.text, second.text, first.line, first.column);
+    }
+    return MakeColumnRef("", first.text, first.line, first.column);
+  }
+
+  // -------------------------------------------------------------------------
+  // Expressions
+  // -------------------------------------------------------------------------
+
+  StatusOr<SqlExprRef> ParseExpr() { return ParseOr(); }
+
+  StatusOr<SqlExprRef> ParseOr() {
+    SqlExprRef lhs;
+    SHARING_ASSIGN_OR_RETURN(lhs, ParseAnd());
+    while (Match(TokenKind::kOr)) {
+      SqlExprRef rhs;
+      SHARING_ASSIGN_OR_RETURN(rhs, ParseAnd());
+      lhs = MakeOr(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExprRef> ParseAnd() {
+    SqlExprRef lhs;
+    SHARING_ASSIGN_OR_RETURN(lhs, ParseNot());
+    while (Match(TokenKind::kAnd)) {
+      SqlExprRef rhs;
+      SHARING_ASSIGN_OR_RETURN(rhs, ParseNot());
+      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExprRef> ParseNot() {
+    if (Match(TokenKind::kNot)) {
+      SqlExprRef operand;
+      SHARING_ASSIGN_OR_RETURN(operand, ParseNot());
+      return MakeNot(std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<SqlExprRef> ParseComparison() {
+    SqlExprRef lhs;
+    SHARING_ASSIGN_OR_RETURN(lhs, ParseAdditive());
+
+    if (Match(TokenKind::kBetween)) {
+      SqlExprRef lo;
+      SHARING_ASSIGN_OR_RETURN(lo, ParseAdditive());
+      SHARING_RETURN_NOT_OK(Expect(TokenKind::kAnd, "AND in BETWEEN"));
+      SqlExprRef hi;
+      SHARING_ASSIGN_OR_RETURN(hi, ParseAdditive());
+      return MakeBetween(std::move(lhs), std::move(lo), std::move(hi));
+    }
+
+    CmpOp op;
+    switch (Current().kind) {
+      case TokenKind::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CmpOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return lhs;  // no comparison
+    }
+    Advance();
+    SqlExprRef rhs;
+    SHARING_ASSIGN_OR_RETURN(rhs, ParseAdditive());
+    return MakeCompare(op, std::move(lhs), std::move(rhs));
+  }
+
+  StatusOr<SqlExprRef> ParseAdditive() {
+    SqlExprRef lhs;
+    SHARING_ASSIGN_OR_RETURN(lhs, ParseMultiplicative());
+    for (;;) {
+      ArithOp op;
+      if (Check(TokenKind::kPlus)) {
+        op = ArithOp::kAdd;
+      } else if (Check(TokenKind::kMinus)) {
+        op = ArithOp::kSub;
+      } else {
+        return lhs;
+      }
+      Advance();
+      SqlExprRef rhs;
+      SHARING_ASSIGN_OR_RETURN(rhs, ParseMultiplicative());
+      lhs = MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<SqlExprRef> ParseMultiplicative() {
+    SqlExprRef lhs;
+    SHARING_ASSIGN_OR_RETURN(lhs, ParseUnary());
+    for (;;) {
+      ArithOp op;
+      if (Check(TokenKind::kStar)) {
+        op = ArithOp::kMul;
+      } else if (Check(TokenKind::kSlash)) {
+        op = ArithOp::kDiv;
+      } else if (Check(TokenKind::kPercent)) {
+        op = ArithOp::kMod;
+      } else {
+        return lhs;
+      }
+      Advance();
+      SqlExprRef rhs;
+      SHARING_ASSIGN_OR_RETURN(rhs, ParseUnary());
+      lhs = MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<SqlExprRef> ParseUnary() {
+    if (Check(TokenKind::kMinus)) {
+      const Token& minus = Advance();
+      SqlExprRef operand;
+      SHARING_ASSIGN_OR_RETURN(operand, ParseUnary());
+      // Lower unary minus as 0 - operand (the expression layer has no
+      // negate node, and constant folding is not worth a separate path).
+      return MakeArith(ArithOp::kSub,
+                       MakeLiteral(Value(int64_t{0}), minus.line,
+                                   minus.column),
+                       std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<SqlExprRef> ParsePrimary() {
+    const Token& token = Current();
+    switch (token.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return MakeLiteral(Value(token.int_value), token.line, token.column);
+      case TokenKind::kDoubleLiteral:
+        Advance();
+        return MakeLiteral(Value(token.double_value), token.line,
+                           token.column);
+      case TokenKind::kStringLiteral:
+        Advance();
+        return MakeLiteral(Value(token.text), token.line, token.column);
+      case TokenKind::kDate:
+        if (PeekNext().kind == TokenKind::kStringLiteral) {
+          return ParseDateLiteral();
+        }
+        return ParseColumnRef();  // soft keyword used as a name
+      case TokenKind::kLParen: {
+        Advance();
+        SqlExprRef inner;
+        SHARING_ASSIGN_OR_RETURN(inner, ParseExpr());
+        SHARING_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdentifier:
+        return ParseColumnRef();
+      default:
+        if (IsAggKeyword(token.kind)) {
+          if (PeekNext().kind == TokenKind::kLParen) return ParseAggCall();
+          return ParseColumnRef();  // soft keyword used as a name
+        }
+        return ErrorAtCurrent("expected expression");
+    }
+  }
+
+  StatusOr<SqlExprRef> ParseDateLiteral() {
+    const Token& kw = Advance();  // DATE
+    if (!Check(TokenKind::kStringLiteral)) {
+      return ErrorAtCurrent("expected 'yyyy-mm-dd' string after DATE");
+    }
+    const Token& lit = Advance();
+    int year = 0;
+    int month = 0;
+    int day = 0;
+    if (std::sscanf(lit.text.c_str(), "%d-%d-%d", &year, &month, &day) != 3 ||
+        month < 1 || month > 12 || day < 1 || day > 31 ||
+        year < kDateEpochYear || year > 2199) {
+      return Status::InvalidArgument(lit.Position() +
+                                     ": malformed date literal '" +
+                                     lit.text + "'");
+    }
+    return MakeLiteral(Value(MakeDate(year, month, day)), kw.line, kw.column);
+  }
+
+  StatusOr<SqlExprRef> ParseAggCall() {
+    const Token& func_token = Advance();
+    AggFunc func = AggFuncFor(func_token.kind);
+    SHARING_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    if (Match(TokenKind::kStar)) {
+      if (func != AggFunc::kCount) {
+        return Status::InvalidArgument(
+            func_token.Position() + ": '*' argument is only valid in COUNT");
+      }
+      SHARING_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return MakeAggCall(func, nullptr, /*star=*/true, func_token.line,
+                         func_token.column);
+    }
+    SqlExprRef argument;
+    SHARING_ASSIGN_OR_RETURN(argument, ParseExpr());
+    if (argument->ContainsAggregate()) {
+      return Status::InvalidArgument(func_token.Position() +
+                                     ": nested aggregates are not allowed");
+    }
+    SHARING_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return MakeAggCall(func, std::move(argument), /*star=*/false,
+                       func_token.line, func_token.column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectStatement> ParseSelect(std::string_view source) {
+  std::vector<Token> tokens;
+  SHARING_ASSIGN_OR_RETURN(tokens, Tokenize(source));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace sharing::sql

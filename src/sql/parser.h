@@ -1,0 +1,32 @@
+// SQL parser: token stream -> SelectStatement.
+//
+// Grammar (recursive descent, standard precedence):
+//
+//   select    := SELECT ('*' | item (',' item)*) FROM table_ref join*
+//                (WHERE expr)? (GROUP BY column_ref (',' column_ref)*)?
+//                (ORDER BY order_item (',' order_item)*)? (LIMIT int)? ';'?
+//   item      := expr (AS? identifier)?
+//   table_ref := identifier (AS? identifier)?
+//   join      := (INNER)? JOIN table_ref ON expr
+//   expr      := or ;  or := and (OR and)* ;  and := not (AND not)*
+//   not       := NOT not | cmp
+//   cmp       := add (cmpop add | BETWEEN add AND add)?
+//   add       := mul (('+'|'-') mul)*
+//   mul       := unary (('*'|'/'|'%') unary)*
+//   unary     := '-' unary | primary
+//   primary   := literal | DATE 'yyyy-mm-dd' | aggfunc '(' ('*'|expr) ')'
+//              | identifier ('.' identifier)? | '(' expr ')'
+
+#pragma once
+
+#include <string_view>
+
+#include "common/status_or.h"
+#include "sql/ast.h"
+
+namespace sharing::sql {
+
+/// Parses one SELECT statement. Errors carry "line:col" positions.
+StatusOr<SelectStatement> ParseSelect(std::string_view source);
+
+}  // namespace sharing::sql

@@ -1,0 +1,92 @@
+// SQL tokens.
+//
+// The front-end accepts the analytical subset the paper's workloads need:
+// SELECT / FROM / JOIN ... ON / WHERE / GROUP BY / ORDER BY / LIMIT with
+// arithmetic, comparisons, BETWEEN, AND/OR/NOT, and int / double / string /
+// DATE literals. Keywords are case-insensitive, identifiers are folded to
+// lower case (there are no quoted identifiers).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sharing::sql {
+
+enum class TokenKind : uint8_t {
+  // Literals and names.
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+
+  // Keywords.
+  kSelect,
+  kFrom,
+  kWhere,
+  kGroup,
+  kOrder,
+  kBy,
+  kAs,
+  kJoin,
+  kInner,
+  kOn,
+  kAnd,
+  kOr,
+  kNot,
+  kBetween,
+  kAsc,
+  kDesc,
+  kLimit,
+  kDate,
+  kSum,
+  kCount,
+  kAvg,
+  kMin,
+  kMax,
+
+  // Punctuation and operators.
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kLParen,
+  kRParen,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+
+  kEof,
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+
+  /// Identifier (lower-cased) or string-literal contents.
+  std::string text;
+
+  /// Literal payloads.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+
+  /// 1-based source position, for error messages.
+  int line = 1;
+  int column = 1;
+
+  /// "line:col" for diagnostics.
+  std::string Position() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+}  // namespace sharing::sql

@@ -1,0 +1,228 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+// ---------------------------------------------------------------------------
+// PageGuard
+// ---------------------------------------------------------------------------
+
+PageGuard::PageGuard(BufferPool* pool, std::size_t frame_index, PageId page_id,
+                     uint8_t* data)
+    : pool_(pool), frame_index_(frame_index), page_id_(page_id), data_(data) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      frame_index_(other.frame_index_),
+      page_id_(other.page_id_),
+      data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+uint8_t* PageGuard::mutable_data() {
+  SHARING_DCHECK(valid());
+  pool_->MarkDirty(page_id_);
+  return data_;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_index_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(DiskManager* disk, std::size_t num_frames,
+                       MetricsRegistry* metrics)
+    : disk_(disk),
+      metrics_(metrics),
+      hits_(metrics->GetCounter(metrics::kBufferPoolHits)),
+      misses_(metrics->GetCounter(metrics::kBufferPoolMisses)),
+      evictions_(metrics->GetCounter(metrics::kBufferPoolEvictions)) {
+  SHARING_CHECK(num_frames > 0);
+  frames_.resize(num_frames);
+  for (auto& f : frames_) {
+    f.data = std::make_unique<uint8_t[]>(kPageBytes);
+  }
+}
+
+BufferPool::~BufferPool() {
+  Status st = FlushAll();
+  if (!st.ok()) {
+    SHARING_LOG(Warning) << "FlushAll on shutdown failed: " << st.ToString();
+  }
+}
+
+std::size_t BufferPool::FindVictim() {
+  // Two full sweeps: the first clears reference bits, the second takes the
+  // first unpinned frame.
+  for (std::size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& f = frames_[clock_hand_];
+    std::size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.state == FrameState::kFree) return idx;
+    if (f.state == FrameState::kLoading || f.pin_count > 0) continue;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    return idx;
+  }
+  return frames_.size();
+}
+
+Status BufferPool::PrepareFrame(std::size_t frame_index, PageId new_page,
+                                std::unique_lock<std::mutex>& lock) {
+  Frame& f = frames_[frame_index];
+  if (f.state == FrameState::kReady) {
+    // Evict current occupant; write back while the frame is protected by
+    // the kLoading state (pin-count zero is guaranteed by FindVictim).
+    PageId old_page = f.page_id;
+    bool dirty = f.dirty;
+    f.state = FrameState::kLoading;
+    page_table_.erase(old_page);
+    evictions_->Increment();
+    if (dirty) {
+      lock.unlock();
+      Status st = disk_->WritePage(old_page, f.data.get());
+      lock.lock();
+      if (!st.ok()) {
+        f.state = FrameState::kFree;
+        f.page_id = kInvalidPageId;
+        io_cv_.notify_all();
+        return st;
+      }
+    }
+  }
+  f.state = FrameState::kLoading;
+  f.page_id = new_page;
+  f.pin_count = 1;
+  f.ref = true;
+  f.dirty = false;
+  page_table_[new_page] = frame_index;
+  return Status::OK();
+}
+
+StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.state == FrameState::kLoading) {
+        // Another thread is bringing this page in; wait for it.
+        io_cv_.wait(lock);
+        continue;  // re-lookup: the load may have failed
+      }
+      ++f.pin_count;
+      f.ref = true;
+      hits_->Increment();
+      return PageGuard(this, it->second, id, f.data.get());
+    }
+
+    std::size_t victim = FindVictim();
+    if (victim == frames_.size()) {
+      return Status::Unavailable(
+          "buffer pool: all frames pinned (frames=" +
+          std::to_string(frames_.size()) + ")");
+    }
+    misses_->Increment();
+    SHARING_RETURN_NOT_OK(PrepareFrame(victim, id, lock));
+    Frame& f = frames_[victim];
+
+    lock.unlock();
+    Status st = disk_->ReadPage(id, f.data.get());
+    lock.lock();
+    if (!st.ok()) {
+      f.state = FrameState::kFree;
+      f.pin_count = 0;
+      f.page_id = kInvalidPageId;
+      page_table_.erase(id);
+      io_cv_.notify_all();
+      return st;
+    }
+    f.state = FrameState::kReady;
+    io_cv_.notify_all();
+    return PageGuard(this, victim, id, f.data.get());
+  }
+}
+
+StatusOr<PageGuard> BufferPool::NewPage(uint32_t row_width, PageId* out_id) {
+  PageId id = disk_->AllocatePage();
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t victim = FindVictim();
+  if (victim == frames_.size()) {
+    return Status::Unavailable("buffer pool: all frames pinned");
+  }
+  SHARING_RETURN_NOT_OK(PrepareFrame(victim, id, lock));
+  Frame& f = frames_[victim];
+  page_layout::Init(f.data.get(), row_width);
+  f.state = FrameState::kReady;
+  f.dirty = true;
+  io_cv_.notify_all();
+  *out_id = id;
+  return PageGuard(this, victim, id, f.data.get());
+}
+
+Status BufferPool::FlushAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto& f : frames_) {
+    if (f.state == FrameState::kReady && f.dirty) {
+      PageId id = f.page_id;
+      lock.unlock();
+      Status st = disk_->WritePage(id, f.data.get());
+      lock.lock();
+      SHARING_RETURN_NOT_OK(st);
+      // Re-check: the frame may have been recycled while unlocked.
+      if (f.page_id == id) f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::MarkDirty(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) frames_[it->second].dirty = true;
+}
+
+void BufferPool::Unpin(std::size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& f = frames_[frame_index];
+  SHARING_DCHECK(f.pin_count > 0);
+  --f.pin_count;
+}
+
+BufferPoolStats BufferPool::GetStats() const {
+  BufferPoolStats stats;
+  stats.hits = hits_->Get();
+  stats.misses = misses_->Get();
+  stats.evictions = evictions_->Get();
+  return stats;
+}
+
+}  // namespace sharing

@@ -1,0 +1,125 @@
+// BufferPool: fixed set of page frames over a DiskManager, clock eviction,
+// pin/unpin via RAII guards.
+//
+// Residency policy (DESIGN.md decision #5): memory-resident experiments
+// configure at least as many frames as data pages and a zero-latency disk;
+// disk-resident experiments cap frames below the working set and enable the
+// disk latency model. Same code path either way.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/status_or.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace sharing {
+
+class BufferPool;
+
+/// RAII pin on a page frame. Movable, not copyable. The frame's bytes stay
+/// valid and resident for the guard's lifetime.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, std::size_t frame_index, PageId page_id,
+            uint8_t* data);
+  ~PageGuard();
+
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  SHARING_DISALLOW_COPY(PageGuard);
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  const uint8_t* data() const { return data_; }
+  uint8_t* mutable_data();
+
+  /// Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  std::size_t frame_index_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+};
+
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, std::size_t num_frames,
+             MetricsRegistry* metrics = &MetricsRegistry::Global());
+  ~BufferPool();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(BufferPool);
+
+  /// Pins page `id`, reading it from disk on a miss.
+  StatusOr<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a new page on disk, pins it, and formats it for rows of
+  /// `row_width` bytes. The new page id is returned through `out_id`.
+  StatusOr<PageGuard> NewPage(uint32_t row_width, PageId* out_id);
+
+  /// Writes all dirty resident pages back to disk.
+  Status FlushAll();
+
+  std::size_t num_frames() const { return frames_.size(); }
+  BufferPoolStats GetStats() const;
+
+  /// Marks the frame holding `page_id` dirty (called via guards).
+  void MarkDirty(PageId page_id);
+
+ private:
+  friend class PageGuard;
+
+  enum class FrameState : uint8_t { kFree, kLoading, kReady };
+
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool ref = false;  // clock reference bit
+    bool dirty = false;
+    FrameState state = FrameState::kFree;
+  };
+
+  void Unpin(std::size_t frame_index);
+
+  /// Finds an unpinned victim frame with the clock sweep. Called with
+  /// `mutex_` held; returns frames_.size() when everything is pinned.
+  std::size_t FindVictim();
+
+  /// Evicts `frame` (writing back if dirty) and binds it to `new_page`,
+  /// leaving it in kLoading state with one pin. Called with `mutex_` held;
+  /// may release and reacquire it around I/O.
+  Status PrepareFrame(std::size_t frame_index, PageId new_page,
+                      std::unique_lock<std::mutex>& lock);
+
+  DiskManager* disk_;
+  MetricsRegistry* metrics_;
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable io_cv_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, std::size_t> page_table_;
+  std::size_t clock_hand_ = 0;
+};
+
+}  // namespace sharing

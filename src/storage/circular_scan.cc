@@ -1,0 +1,164 @@
+#include "storage/circular_scan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+// ---------------------------------------------------------------------------
+// Consumer
+// ---------------------------------------------------------------------------
+
+bool CircularScanGroup::Ticket::Consumer::Deliver(ScanPageRef page) {
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return queue.size() < depth || closed; });
+  if (closed || remaining == 0) return false;
+  queue.push_back(std::move(page));
+  --remaining;
+  bool done = remaining == 0;
+  lock.unlock();
+  cv.notify_all();
+  return !done;
+}
+
+// ---------------------------------------------------------------------------
+// Ticket
+// ---------------------------------------------------------------------------
+
+CircularScanGroup::Ticket::~Ticket() { Cancel(); }
+
+ScanPageRef CircularScanGroup::Ticket::Next() {
+  std::unique_lock<std::mutex> lock(consumer_->mutex);
+  consumer_->cv.wait(lock, [&] {
+    return !consumer_->queue.empty() || consumer_->closed ||
+           (consumer_->remaining == 0 && consumer_->queue.empty());
+  });
+  if (consumer_->queue.empty()) return nullptr;
+  ScanPageRef page = std::move(consumer_->queue.front());
+  consumer_->queue.pop_front();
+  lock.unlock();
+  consumer_->cv.notify_all();
+  return page;
+}
+
+Status CircularScanGroup::Ticket::FinalStatus() const {
+  std::lock_guard<std::mutex> lock(consumer_->mutex);
+  return consumer_->error;
+}
+
+void CircularScanGroup::Ticket::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(consumer_->mutex);
+    if (consumer_->closed) return;
+    consumer_->closed = true;
+    consumer_->queue.clear();  // release pins
+  }
+  consumer_->cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// CircularScanGroup
+// ---------------------------------------------------------------------------
+
+CircularScanGroup::CircularScanGroup(const Table* table,
+                                     std::size_t queue_depth,
+                                     MetricsRegistry* metrics)
+    : table_(table),
+      queue_depth_(std::max<std::size_t>(1, queue_depth)),
+      metrics_(metrics),
+      pages_read_(metrics->GetCounter(metrics::kScanPagesRead)),
+      shared_attach_(metrics->GetCounter(metrics::kScanSharedAttach)) {}
+
+CircularScanGroup::~CircularScanGroup() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    for (auto& c : consumers_) {
+      std::lock_guard<std::mutex> clock(c->mutex);
+      c->closed = true;
+    }
+    for (auto& c : consumers_) c->cv.notify_all();
+  }
+  wake_producer_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+std::unique_ptr<CircularScanGroup::Ticket> CircularScanGroup::Attach() {
+  auto consumer = std::make_shared<Ticket::Consumer>(
+      queue_depth_, table_->num_pages());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SHARING_CHECK(!shutdown_);
+    if (!consumers_.empty()) shared_attach_->Increment();
+    if (table_->num_pages() > 0) {
+      consumers_.push_back(consumer);
+      if (!producer_started_) {
+        producer_started_ = true;
+        producer_ = std::thread([this] { ProducerLoop(); });
+      }
+    } else {
+      // Empty table: the ticket is born complete (remaining == 0).
+    }
+  }
+  wake_producer_.notify_all();
+  return std::unique_ptr<Ticket>(new Ticket(this, std::move(consumer)));
+}
+
+std::size_t CircularScanGroup::ActiveConsumers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consumers_.size();
+}
+
+void CircularScanGroup::ProducerLoop() {
+  BufferPool* pool = table_->buffer_pool();
+  const std::size_t n_pages = table_->num_pages();
+  for (;;) {
+    // Snapshot the consumers that still want pages; prune finished ones.
+    std::vector<std::shared_ptr<Ticket::Consumer>> active;
+    uint64_t position;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      consumers_.erase(
+          std::remove_if(consumers_.begin(), consumers_.end(),
+                         [](const std::shared_ptr<Ticket::Consumer>& c) {
+                           std::lock_guard<std::mutex> clock(c->mutex);
+                           return c->closed || c->remaining == 0;
+                         }),
+          consumers_.end());
+      wake_producer_.wait(lock,
+                          [&] { return shutdown_ || !consumers_.empty(); });
+      if (shutdown_) return;
+      active = consumers_;
+      position = cursor_;
+      cursor_ = (cursor_ + 1) % n_pages;
+    }
+
+    auto guard_or = pool->FetchPage(table_->page_id(position));
+    if (!guard_or.ok()) {
+      SHARING_LOG(Error) << "circular scan fetch failed: "
+                         << guard_or.status().ToString();
+      // Close all consumers with the error recorded, so their scans
+      // surface an IoError instead of silently reporting a short table.
+      for (auto& c : active) {
+        {
+          std::lock_guard<std::mutex> clock(c->mutex);
+          c->closed = true;
+          if (c->error.ok()) c->error = guard_or.status();
+        }
+        c->cv.notify_all();
+      }
+      continue;
+    }
+    auto page = std::make_shared<ScanPage>();
+    page->guard = std::move(guard_or).value();
+    page->position = position;
+    pages_read_->Increment();
+
+    for (auto& c : active) {
+      c->Deliver(page);
+    }
+  }
+}
+
+}  // namespace sharing

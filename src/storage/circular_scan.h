@@ -1,0 +1,129 @@
+// Circular shared scans (paper §2 "Sharing in the I/O layer").
+//
+// Both QPipe and CJOIN coordinate concurrent scans of the same relation
+// with circular scans: one producer reads pages round-robin and every
+// attached scanner consumes the stream from its attach position until it
+// has seen the whole table (one full cycle). k concurrent scans of a table
+// then cost ~1x the disk reads instead of kx.
+//
+// A CircularScanGroup owns one lazily started producer thread per table.
+// Consumers attach and receive pinned page handles through small bounded
+// queues (the producer paces to the slowest consumer, as QPipe throttles
+// its shared scans). A consumer may cancel early (query abort), which
+// simply detaches it.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace sharing {
+
+/// A pinned table page as delivered to scan consumers. `position` is the
+/// logical page index within the table (used by tests; consumers normally
+/// don't care about order).
+struct ScanPage {
+  PageGuard guard;
+  uint64_t position = 0;
+
+  const uint8_t* data() const { return guard.data(); }
+};
+
+using ScanPageRef = std::shared_ptr<ScanPage>;
+
+class CircularScanGroup {
+ public:
+  /// `queue_depth`: per-consumer buffered pages (backpressure window).
+  explicit CircularScanGroup(
+      const Table* table, std::size_t queue_depth = 4,
+      MetricsRegistry* metrics = &MetricsRegistry::Global());
+  ~CircularScanGroup();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(CircularScanGroup);
+
+  class Ticket;
+
+  /// Attaches a scanner at the current cursor position; it will observe
+  /// exactly one full cycle of the table.
+  std::unique_ptr<Ticket> Attach();
+
+  const Table* table() const { return table_; }
+
+  /// Scanners currently attached (for tests/monitoring).
+  std::size_t ActiveConsumers() const;
+
+  class Ticket {
+   public:
+    ~Ticket();
+    SHARING_DISALLOW_COPY_AND_MOVE(Ticket);
+
+    /// Blocks until the next page is available. Returns nullptr when this
+    /// scanner has seen the full table (or was cancelled / hit an error —
+    /// check FinalStatus() to tell the difference).
+    ScanPageRef Next();
+
+    /// OK after a complete cycle; the I/O error if the scan was cut short
+    /// by one. Meaningful once Next() has returned nullptr.
+    Status FinalStatus() const;
+
+    /// Detaches early; outstanding queued pages are released.
+    void Cancel();
+
+   private:
+    friend class CircularScanGroup;
+    struct Consumer;
+    Ticket(CircularScanGroup* group, std::shared_ptr<Consumer> consumer)
+        : group_(group), consumer_(std::move(consumer)) {}
+
+    CircularScanGroup* group_;
+    std::shared_ptr<Consumer> consumer_;
+  };
+
+ private:
+  struct Ticket::Consumer {
+    explicit Consumer(std::size_t depth, uint64_t remaining)
+        : depth(depth), remaining(remaining) {}
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<ScanPageRef> queue;
+    std::size_t depth;
+    uint64_t remaining;  // pages left to deliver
+    bool closed = false;
+    Status error;  // non-OK when the producer hit an I/O failure
+
+    /// Producer side: blocks until there is room or the consumer closed.
+    /// Returns false if the consumer is done/closed.
+    bool Deliver(ScanPageRef page);
+  };
+
+  void ProducerLoop();
+
+  const Table* table_;
+  std::size_t queue_depth_;
+  MetricsRegistry* metrics_;
+  Counter* pages_read_;
+  Counter* shared_attach_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_producer_;
+  std::vector<std::shared_ptr<Ticket::Consumer>> consumers_;
+  uint64_t cursor_ = 0;  // next logical page index to read
+  bool shutdown_ = false;
+  bool producer_started_ = false;
+  std::thread producer_;
+};
+
+}  // namespace sharing

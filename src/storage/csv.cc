@@ -1,0 +1,232 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "storage/page.h"
+
+namespace sharing {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void WriteField(std::ostream& out, std::string_view field, char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+std::string_view TrimPadding(std::string_view s) {
+  std::size_t end = s.size();
+  while (end > 0 && (s[end - 1] == ' ' || s[end - 1] == '\0')) --end;
+  return s.substr(0, end);
+}
+
+/// Splits one CSV record (RFC 4180). Returns false on malformed quoting.
+bool SplitRecord(const std::string& line, char delimiter,
+                 std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // tolerate CRLF input
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (quoted) return false;
+  fields->push_back(std::move(current));
+  return true;
+}
+
+Status ParseInto(const std::string& field, const Column& column,
+                 std::size_t col, int64_t row, RowWriter* writer) {
+  auto err = [&](const std::string& what) {
+    return Status::InvalidArgument("row " + std::to_string(row) +
+                                   ", column '" + column.name +
+                                   "': " + what + ": '" + field + "'");
+  };
+  switch (column.type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(field.data(), field.data() + field.size(), v);
+      if (ec != std::errc() || ptr != field.data() + field.size()) {
+        return err("malformed int64");
+      }
+      writer->SetInt64(col, v);
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end != field.c_str() + field.size() || field.empty()) {
+        return err("malformed double");
+      }
+      writer->SetDouble(col, v);
+      return Status::OK();
+    }
+    case ValueType::kDate: {
+      int year = 0;
+      int month = 0;
+      int day = 0;
+      if (std::sscanf(field.c_str(), "%d-%d-%d", &year, &month, &day) != 3 ||
+          month < 1 || month > 12 || day < 1 || day > 31 ||
+          year < kDateEpochYear) {
+        return err("malformed date (want YYYY-MM-DD)");
+      }
+      writer->SetDate(col, MakeDate(year, month, day));
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      if (field.size() > column.width) {
+        return err("string exceeds column width " +
+                   std::to_string(column.width));
+      }
+      writer->SetString(col, field);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Status ExportCsv(const Table& table, std::ostream& out,
+                 const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  if (options.header) {
+    for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c) out << options.delimiter;
+      WriteField(out, schema.column(c).name, options.delimiter);
+    }
+    out << '\n';
+  }
+
+  BufferPool* pool = table.buffer_pool();
+  char buffer[64];
+  for (std::size_t p = 0; p < table.num_pages(); ++p) {
+    PageGuard guard;
+    SHARING_ASSIGN_OR_RETURN(guard, pool->FetchPage(table.page_id(p)));
+    const uint8_t* frame = guard.data();
+    const uint32_t n = page_layout::RowCount(frame);
+    for (uint32_t i = 0; i < n; ++i) {
+      TupleRef row(page_layout::RowAt(frame, i), &schema);
+      for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+        if (c) out << options.delimiter;
+        switch (schema.column(c).type) {
+          case ValueType::kInt64:
+            out << row.GetInt64(c);
+            break;
+          case ValueType::kDouble:
+            std::snprintf(buffer, sizeof buffer, "%.17g", row.GetDouble(c));
+            out << buffer;
+            break;
+          case ValueType::kDate:
+            out << DateToString(row.GetDate(c));
+            break;
+          case ValueType::kString:
+            WriteField(out, TrimPadding(row.GetString(c)),
+                       options.delimiter);
+            break;
+        }
+      }
+      out << '\n';
+    }
+  }
+  if (!out) return Status::IoError("CSV write failed");
+  return Status::OK();
+}
+
+StatusOr<int64_t> ImportCsv(Catalog* catalog, BufferPool* pool,
+                            const std::string& name, const Schema& schema,
+                            std::istream& in, const CsvOptions& options) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(table, catalog->CreateTable(name, schema, pool));
+
+  std::string line;
+  std::vector<std::string> fields;
+  int64_t rows = 0;
+
+  if (options.header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("missing CSV header row");
+    }
+    if (!SplitRecord(line, options.delimiter, &fields)) {
+      return Status::InvalidArgument("malformed CSV header");
+    }
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "header has " + std::to_string(fields.size()) + " fields, schema " +
+          std::to_string(schema.num_columns()) + " columns");
+    }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      if (fields[c] != schema.column(c).name) {
+        return Status::InvalidArgument("header field '" + fields[c] +
+                                       "' does not match column '" +
+                                       schema.column(c).name + "'");
+      }
+    }
+  }
+
+  TableAppender appender(table);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!SplitRecord(line, options.delimiter, &fields)) {
+      return Status::InvalidArgument("row " + std::to_string(rows) +
+                                     ": malformed quoting");
+    }
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(rows) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema.num_columns()));
+    }
+    auto writer_or = appender.AppendRow();
+    SHARING_RETURN_NOT_OK(writer_or.status());
+    RowWriter writer = std::move(writer_or).value();
+    for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+      SHARING_RETURN_NOT_OK(
+          ParseInto(fields[c], schema.column(c), c, rows, &writer));
+    }
+    ++rows;
+  }
+  SHARING_RETURN_NOT_OK(appender.Finish());
+  return rows;
+}
+
+}  // namespace sharing

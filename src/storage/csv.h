@@ -1,0 +1,37 @@
+// CSV import/export for tables.
+//
+// The demo's datasets are generated in-process, but a storage engine a
+// downstream user adopts needs a way to get data in and out. Values are
+// rendered per column type: int64 as decimal, double with full precision,
+// dates as YYYY-MM-DD, strings quoted only when they contain a delimiter,
+// quote, or newline (RFC 4180 quoting; fixed-width padding is trimmed on
+// export and re-padded on import).
+
+#pragma once
+
+#include <iosfwd>
+
+#include "common/status_or.h"
+#include "storage/table.h"
+
+namespace sharing {
+
+struct CsvOptions {
+  char delimiter = ',';
+
+  /// Write/expect a header row of column names.
+  bool header = true;
+};
+
+/// Writes every row of `table` to `out`.
+Status ExportCsv(const Table& table, std::ostream& out,
+                 const CsvOptions& options = {});
+
+/// Creates table `name` with `schema` in `catalog` and loads rows from
+/// `in`. Returns the number of rows loaded. When options.header is true
+/// the first row must match the schema's column names exactly.
+StatusOr<int64_t> ImportCsv(Catalog* catalog, BufferPool* pool,
+                            const std::string& name, const Schema& schema,
+                            std::istream& in, const CsvOptions& options = {});
+
+}  // namespace sharing

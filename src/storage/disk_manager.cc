@@ -1,0 +1,129 @@
+#include "storage/disk_manager.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+DiskManager::DiskManager(DiskOptions options, MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      metrics_(metrics),
+      reads_counter_(metrics_->GetCounter(metrics::kDiskPageReads)),
+      writes_counter_(metrics_->GetCounter(metrics::kDiskPageWrites)),
+      read_latency_micros_(options_.read_latency_micros),
+      read_bandwidth_mib_(options_.read_bandwidth_mib) {
+  if (!options_.path.empty()) {
+    file_ = std::fopen(options_.path.c_str(), "wb+");
+    SHARING_CHECK(file_ != nullptr)
+        << "cannot open backing file " << options_.path;
+  }
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(options_.path.c_str());
+  }
+}
+
+PageId DiskManager::AllocatePage() {
+  PageId id = next_page_.fetch_add(1, std::memory_order_relaxed);
+  if (file_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    if (mem_pages_.size() <= id) mem_pages_.resize(id + 1);
+    mem_pages_[id] = std::make_unique<uint8_t[]>(kPageBytes);
+    std::memset(mem_pages_[id].get(), 0, kPageBytes);
+  }
+  return id;
+}
+
+void DiskManager::ChargeReadLatency(std::size_t bytes) {
+  uint32_t seek = read_latency_micros_.load(std::memory_order_relaxed);
+  uint32_t bw = read_bandwidth_mib_.load(std::memory_order_relaxed);
+  uint64_t micros = seek;
+  if (bw > 0) {
+    micros += (static_cast<uint64_t>(bytes) * 1000000ull) /
+              (static_cast<uint64_t>(bw) * 1024ull * 1024ull);
+  }
+  if (micros == 0) return;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(micros);
+  if (micros >= 100) {
+    std::this_thread::sleep_until(deadline);
+  } else {
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Spin: sleep granularity would overshoot sub-100us latencies.
+    }
+  }
+}
+
+Status DiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= next_page_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  if (injected_read_faults_.load(std::memory_order_relaxed) > 0 &&
+      injected_read_faults_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+    return Status::IoError("injected read fault for page " +
+                           std::to_string(id));
+  }
+  ChargeReadLatency(kPageBytes);
+  if (file_ == nullptr) {
+    const uint8_t* src;
+    {
+      std::lock_guard<std::mutex> lock(mem_mutex_);
+      src = mem_pages_[id].get();
+    }
+    std::memcpy(out, src, kPageBytes);
+  } else {
+    std::lock_guard<std::mutex> lock(file_mutex_);
+    if (std::fseek(file_, static_cast<long>(id * kPageBytes), SEEK_SET) != 0) {
+      return Status::IoError("fseek failed for page " + std::to_string(id));
+    }
+    if (std::fread(out, 1, kPageBytes, file_) != kPageBytes) {
+      return Status::IoError("short read for page " + std::to_string(id));
+    }
+  }
+  reads_counter_->Increment();
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= next_page_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  if (options_.write_latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.write_latency_micros));
+  }
+  if (file_ == nullptr) {
+    uint8_t* dst;
+    {
+      std::lock_guard<std::mutex> lock(mem_mutex_);
+      dst = mem_pages_[id].get();
+    }
+    std::memcpy(dst, data, kPageBytes);
+  } else {
+    std::lock_guard<std::mutex> lock(file_mutex_);
+    if (std::fseek(file_, static_cast<long>(id * kPageBytes), SEEK_SET) != 0) {
+      return Status::IoError("fseek failed for page " + std::to_string(id));
+    }
+    if (std::fwrite(data, 1, kPageBytes, file_) != kPageBytes) {
+      return Status::IoError("short write for page " + std::to_string(id));
+    }
+  }
+  writes_counter_->Increment();
+  return Status::OK();
+}
+
+void DiskManager::SetLatencyModel(uint32_t read_latency_micros,
+                                  uint32_t read_bandwidth_mib) {
+  read_latency_micros_.store(read_latency_micros, std::memory_order_relaxed);
+  read_bandwidth_mib_.store(read_bandwidth_mib, std::memory_order_relaxed);
+}
+
+}  // namespace sharing

@@ -1,0 +1,149 @@
+// Page layout and in-memory row pages.
+//
+// Storage pages are fixed-size (kPageBytes) frames holding packed
+// fixed-width rows behind a small header; `page_layout` gives typed access
+// to a raw frame (the buffer pool hands out frames, not objects).
+//
+// RowPage is the owning, variable-capacity page used for intermediate
+// results flowing between operators/stages (through FIFO buffers and
+// Shared Pages Lists). Intermediate pages are self-contained so a page
+// produced once can be consumed by many queries (the essence of SP).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace sharing {
+
+/// Size of a storage page (Shore-MT used 8 KiB pages; we keep that).
+inline constexpr std::size_t kPageBytes = 8192;
+
+namespace page_layout {
+
+inline constexpr uint32_t kMagic = 0x53504147;  // "SPAG"
+inline constexpr std::size_t kHeaderBytes = 16;
+
+struct Header {
+  uint32_t magic;
+  uint32_t row_width;
+  uint32_t row_count;
+  uint32_t reserved;
+};
+static_assert(sizeof(Header) == kHeaderBytes);
+
+/// Formats an empty page for rows of `row_width` bytes into `frame`.
+inline void Init(uint8_t* frame, uint32_t row_width) {
+  auto* h = reinterpret_cast<Header*>(frame);
+  h->magic = kMagic;
+  h->row_width = row_width;
+  h->row_count = 0;
+  h->reserved = 0;
+}
+
+inline const Header* GetHeader(const uint8_t* frame) {
+  return reinterpret_cast<const Header*>(frame);
+}
+
+inline uint32_t RowCount(const uint8_t* frame) {
+  return GetHeader(frame)->row_count;
+}
+
+inline uint32_t RowWidth(const uint8_t* frame) {
+  return GetHeader(frame)->row_width;
+}
+
+/// Max rows a frame of `frame_bytes` can hold.
+inline uint32_t Capacity(std::size_t frame_bytes, uint32_t row_width) {
+  return static_cast<uint32_t>((frame_bytes - kHeaderBytes) / row_width);
+}
+
+inline const uint8_t* RowAt(const uint8_t* frame, uint32_t i) {
+  const Header* h = GetHeader(frame);
+  SHARING_DCHECK(i < h->row_count);
+  return frame + kHeaderBytes + std::size_t(i) * h->row_width;
+}
+
+/// Appends a row slot; returns nullptr when full.
+inline uint8_t* AppendRow(uint8_t* frame, std::size_t frame_bytes) {
+  auto* h = reinterpret_cast<Header*>(frame);
+  if (h->row_count >= Capacity(frame_bytes, h->row_width)) return nullptr;
+  uint8_t* slot =
+      frame + kHeaderBytes + std::size_t(h->row_count) * h->row_width;
+  ++h->row_count;
+  return slot;
+}
+
+/// Sanity check for frames read back from disk.
+inline bool Valid(const uint8_t* frame) {
+  return GetHeader(frame)->magic == kMagic;
+}
+
+}  // namespace page_layout
+
+/// Owning page of fixed-width rows; the unit of data flow between operators
+/// and the unit of sharing in SP.
+class RowPage {
+ public:
+  static constexpr std::size_t kDefaultDataBytes = 32 * 1024;
+
+  /// Creates an empty page for rows of `row_width` bytes.
+  explicit RowPage(std::size_t row_width,
+                   std::size_t data_bytes = kDefaultDataBytes)
+      : row_width_(row_width),
+        capacity_(row_width == 0 ? 0 : data_bytes / row_width),
+        data_(capacity_ * row_width) {
+    SHARING_DCHECK(row_width > 0);
+    SHARING_DCHECK(capacity_ > 0);
+  }
+
+  std::size_t row_width() const { return row_width_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t row_count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity_; }
+  std::size_t data_bytes() const { return count_ * row_width_; }
+
+  const uint8_t* RowAt(std::size_t i) const {
+    SHARING_DCHECK(i < count_);
+    return data_.data() + i * row_width_;
+  }
+
+  uint8_t* MutableRowAt(std::size_t i) {
+    SHARING_DCHECK(i < count_);
+    return data_.data() + i * row_width_;
+  }
+
+  /// Reserves the next row slot; caller fills it. Returns nullptr when full.
+  uint8_t* AppendSlot() {
+    if (count_ == capacity_) return nullptr;
+    return data_.data() + (count_++) * row_width_;
+  }
+
+  /// Copies `src` (row_width bytes) in; returns false when full.
+  bool AppendRow(const uint8_t* src) {
+    uint8_t* slot = AppendSlot();
+    if (slot == nullptr) return false;
+    std::memcpy(slot, src, row_width_);
+    return true;
+  }
+
+  void Clear() { count_ = 0; }
+
+ private:
+  std::size_t row_width_;
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// Shared immutable handle to a produced page. Push-based SP copies page
+/// *contents* per consumer; pull-based SP shares these handles.
+using PageRef = std::shared_ptr<const RowPage>;
+
+}  // namespace sharing

@@ -1,0 +1,78 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  std::size_t offset = 0;
+  for (auto& col : columns_) {
+    if (col.width == 0) col.width = FixedWidthOf(col.type);
+    SHARING_CHECK(col.width > 0) << "column " << col.name << " has zero width";
+    offsets_.push_back(offset);
+    offset += col.width;
+  }
+  row_width_ = offset;
+}
+
+StatusOr<std::size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Schema Schema::Project(const std::vector<std::size_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (auto i : indices) {
+    SHARING_CHECK(i < columns_.size());
+    cols.push_back(columns_[i]);
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Column> cols = columns_;
+  for (const auto& rc : right.columns_) {
+    Column c = rc;
+    bool collides = std::any_of(cols.begin(), cols.end(), [&](const Column& l) {
+      return l.name == c.name;
+    });
+    if (collides) c.name = "r_" + c.name;
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+    if (columns_[i].type == ValueType::kString) {
+      out += "(" + std::to_string(columns_[i].width) + ")";
+    }
+  }
+  out += "]";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].width != other.columns_[i].width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sharing

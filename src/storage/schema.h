@@ -1,0 +1,70 @@
+// Column schemas and fixed-width row layout.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "common/types.h"
+
+namespace sharing {
+
+/// A column: name, type, and (for strings) fixed byte width.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  std::size_t width = 0;  // bytes; derived from type except for strings
+
+  static Column Int64(std::string name) {
+    return {std::move(name), ValueType::kInt64, 8};
+  }
+  static Column Double(std::string name) {
+    return {std::move(name), ValueType::kDouble, 8};
+  }
+  static Column DateCol(std::string name) {
+    return {std::move(name), ValueType::kDate, 4};
+  }
+  static Column String(std::string name, std::size_t width) {
+    return {std::move(name), ValueType::kString, width};
+  }
+};
+
+/// Immutable description of a row layout. Field offsets are precomputed;
+/// rows are packed with no alignment padding (fields are accessed via
+/// memcpy, which is both portable and fast on x86/ARM).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t row_width() const { return row_width_; }
+  const Column& column(std::size_t i) const { return columns_[i]; }
+  std::size_t offset(std::size_t i) const { return offsets_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or error.
+  StatusOr<std::size_t> ColumnIndex(const std::string& name) const;
+
+  /// Schema of a projection: columns at `indices`, in order.
+  Schema Project(const std::vector<std::size_t>& indices) const;
+
+  /// Concatenation (join output): this schema's columns then `right`'s,
+  /// with right-side names prefixed on collision.
+  Schema Concat(const Schema& right) const;
+
+  /// "name:type(width)" list — used in plan signatures and debug output.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<std::size_t> offsets_;
+  std::size_t row_width_ = 0;
+};
+
+}  // namespace sharing

@@ -1,0 +1,77 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+
+namespace sharing {
+
+Table::Table(std::string name, Schema schema, BufferPool* pool)
+    : name_(std::move(name)), schema_(std::move(schema)), pool_(pool) {
+  SHARING_CHECK(schema_.row_width() > 0) << "empty schema for " << name_;
+  SHARING_CHECK(schema_.row_width() <= kPageBytes - page_layout::kHeaderBytes)
+      << "row too wide for a page in " << name_;
+}
+
+TableAppender::TableAppender(Table* table) : table_(table) {}
+
+TableAppender::~TableAppender() {
+  Status st = Finish();
+  if (!st.ok()) {
+    SHARING_LOG(Warning) << "TableAppender::Finish: " << st.ToString();
+  }
+}
+
+StatusOr<RowWriter> TableAppender::AppendRow() {
+  SHARING_DCHECK(!finished_);
+  uint32_t width = static_cast<uint32_t>(table_->schema_.row_width());
+  if (current_.valid()) {
+    uint8_t* slot = page_layout::AppendRow(current_.mutable_data(), kPageBytes);
+    if (slot != nullptr) {
+      ++table_->num_rows_;
+      return RowWriter(slot, &table_->schema_);
+    }
+    current_.Release();
+  }
+  PageId new_id;
+  auto guard_or = table_->pool_->NewPage(width, &new_id);
+  SHARING_RETURN_NOT_OK(guard_or.status());
+  current_ = std::move(guard_or).value();
+  table_->pages_.push_back(new_id);
+  uint8_t* slot = page_layout::AppendRow(current_.mutable_data(), kPageBytes);
+  SHARING_CHECK(slot != nullptr);
+  ++table_->num_rows_;
+  return RowWriter(slot, &table_->schema_);
+}
+
+Status TableAppender::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  current_.Release();
+  return table_->pool_->FlushAll();
+}
+
+StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                      BufferPool* pool) {
+  for (const auto& t : tables_) {
+    if (t->name() == name) {
+      return Status::AlreadyExists("table '" + name + "' exists");
+    }
+  }
+  tables_.push_back(std::make_unique<Table>(name, std::move(schema), pool));
+  return tables_.back().get();
+}
+
+StatusOr<Table*> Catalog::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+}  // namespace sharing

@@ -1,0 +1,87 @@
+// Table: an append-only heap of fixed-width rows stored in buffer-pool
+// pages. Analytical workloads only append (load) and scan, which is all
+// the paper's experiments need from Shore-MT.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status_or.h"
+#include "storage/buffer_pool.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace sharing {
+
+class Table;
+
+/// Bulk loader: buffers rows into the current page and allocates new pages
+/// as needed. Single-threaded (loading is a setup phase).
+class TableAppender {
+ public:
+  explicit TableAppender(Table* table);
+  ~TableAppender();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(TableAppender);
+
+  /// Reserves the next row slot and returns a writer over it.
+  StatusOr<RowWriter> AppendRow();
+
+  /// Flushes the current partial page; called automatically on destruction.
+  Status Finish();
+
+ private:
+  Table* table_;
+  PageGuard current_;
+  bool finished_ = false;
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema, BufferPool* pool);
+
+  SHARING_DISALLOW_COPY_AND_MOVE(Table);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  BufferPool* buffer_pool() const { return pool_; }
+
+  uint64_t num_rows() const { return num_rows_; }
+  std::size_t num_pages() const { return pages_.size(); }
+  PageId page_id(std::size_t i) const { return pages_[i]; }
+  const std::vector<PageId>& page_ids() const { return pages_; }
+
+ private:
+  friend class TableAppender;
+
+  std::string name_;
+  Schema schema_;
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  uint64_t num_rows_ = 0;
+};
+
+/// Name → table registry plus ownership of the storage stack wiring
+/// (callers own DiskManager/BufferPool; the catalog holds tables).
+class Catalog {
+ public:
+  Catalog() = default;
+  SHARING_DISALLOW_COPY_AND_MOVE(Catalog);
+
+  /// Creates an empty table. Fails if the name exists.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema,
+                               BufferPool* pool);
+
+  StatusOr<Table*> GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace sharing

@@ -1,0 +1,141 @@
+// Typed access to packed fixed-width rows.
+//
+// TupleRef is a non-owning view (row pointer + schema); RowWriter fills a
+// row slot field by field. Both use memcpy-based access so rows can be
+// packed without alignment padding.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "storage/schema.h"
+
+namespace sharing {
+
+class TupleRef {
+ public:
+  TupleRef(const uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  const uint8_t* data() const { return data_; }
+  const Schema& schema() const { return *schema_; }
+
+  int64_t GetInt64(std::size_t col) const {
+    int64_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  double GetDouble(std::size_t col) const {
+    double v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  Date GetDate(std::size_t col) const {
+    int32_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return Date{v};
+  }
+
+  /// View of the fixed-width string field, trailing spaces trimmed.
+  std::string_view GetString(std::size_t col) const {
+    const char* p =
+        reinterpret_cast<const char*>(data_ + schema_->offset(col));
+    std::size_t width = schema_->column(col).width;
+    while (width > 0 && p[width - 1] == ' ') --width;
+    return std::string_view(p, width);
+  }
+
+  /// Generic (boxed) accessor; convenient for tests and result printing.
+  Value GetValue(std::size_t col) const {
+    switch (schema_->column(col).type) {
+      case ValueType::kInt64:
+        return GetInt64(col);
+      case ValueType::kDouble:
+        return GetDouble(col);
+      case ValueType::kDate:
+        return GetDate(col);
+      case ValueType::kString:
+        return std::string(GetString(col));
+    }
+    return int64_t{0};
+  }
+
+  /// "(v0, v1, ...)" — for debugging and golden tests.
+  std::string ToString() const {
+    std::string out = "(";
+    for (std::size_t i = 0; i < schema_->num_columns(); ++i) {
+      if (i) out += ", ";
+      out += ValueToString(GetValue(i));
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  const uint8_t* data_;
+  const Schema* schema_;
+};
+
+class RowWriter {
+ public:
+  RowWriter(uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  uint8_t* data() { return data_; }
+
+  RowWriter& SetInt64(std::size_t col, int64_t v) {
+    SHARING_DCHECK(schema_->column(col).type == ValueType::kInt64);
+    std::memcpy(data_ + schema_->offset(col), &v, sizeof(v));
+    return *this;
+  }
+
+  RowWriter& SetDouble(std::size_t col, double v) {
+    SHARING_DCHECK(schema_->column(col).type == ValueType::kDouble);
+    std::memcpy(data_ + schema_->offset(col), &v, sizeof(v));
+    return *this;
+  }
+
+  RowWriter& SetDate(std::size_t col, Date v) {
+    SHARING_DCHECK(schema_->column(col).type == ValueType::kDate);
+    std::memcpy(data_ + schema_->offset(col), &v.days_since_epoch,
+                sizeof(int32_t));
+    return *this;
+  }
+
+  /// Writes `v` space-padded/truncated to the column width.
+  RowWriter& SetString(std::size_t col, std::string_view v) {
+    SHARING_DCHECK(schema_->column(col).type == ValueType::kString);
+    std::size_t width = schema_->column(col).width;
+    char* dst = reinterpret_cast<char*>(data_ + schema_->offset(col));
+    std::size_t n = v.size() < width ? v.size() : width;
+    std::memcpy(dst, v.data(), n);
+    std::memset(dst + n, ' ', width - n);
+    return *this;
+  }
+
+  RowWriter& SetValue(std::size_t col, const Value& v) {
+    switch (schema_->column(col).type) {
+      case ValueType::kInt64:
+        return SetInt64(col, std::get<int64_t>(v));
+      case ValueType::kDouble:
+        return SetDouble(col, std::get<double>(v));
+      case ValueType::kDate:
+        return SetDate(col, std::get<Date>(v));
+      case ValueType::kString:
+        return SetString(col, std::get<std::string>(v));
+    }
+    return *this;
+  }
+
+ private:
+  uint8_t* data_;
+  const Schema* schema_;
+};
+
+}  // namespace sharing

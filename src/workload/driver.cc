@@ -1,0 +1,149 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace sharing {
+
+std::string DriverReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "completed=%lld failed=%lld qps=%.2f mean=%.2fms p50=%.2fms "
+                "p95=%.2fms cpu=%.2fs wall=%.2fs",
+                static_cast<long long>(completed),
+                static_cast<long long>(failed), throughput_qps,
+                mean_response_ms, p50_response_ms, p95_response_ms,
+                cpu_seconds, wall_seconds);
+  return buf;
+}
+
+namespace {
+
+/// Reusable barrier for wave-synchronized (batched) submission.
+class WaveBarrier {
+ public:
+  explicit WaveBarrier(std::size_t parties) : parties_(parties) {}
+
+  /// Returns once all live parties arrived. A party that quits calls
+  /// Leave() so the rest stop waiting for it.
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    uint64_t gen = generation_;
+    if (++arrived_ >= parties_) {
+      arrived_ = 0;
+      ++generation_;
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+  void Leave() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (parties_ > 0) --parties_;
+    if (arrived_ >= parties_ && parties_ > 0) {
+      arrived_ = 0;
+      ++generation_;
+      lock.unlock();
+      cv_.notify_all();
+    } else if (parties_ == 0) {
+      ++generation_;
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+DriverReport RunClosedLoop(const DriverOptions& options,
+                           const PlanFactory& make_plan,
+                           const ExecuteFn& execute) {
+  const std::size_t n = std::max<std::size_t>(1, options.num_clients);
+  std::vector<std::vector<double>> response_ms(n);
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> failed{0};
+  std::atomic<bool> stop{false};
+  WaveBarrier barrier(n);
+
+  Stopwatch wall;
+  CpuTimer cpu;
+
+  auto client_loop = [&](std::size_t client) {
+    uint64_t iteration = 0;
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed) ||
+          wall.ElapsedSeconds() >= options.duration_seconds ||
+          (options.max_queries > 0 &&
+           completed.load(std::memory_order_relaxed) >=
+               options.max_queries)) {
+        if (options.batched) barrier.Leave();
+        return;
+      }
+      if (options.batched) barrier.Arrive();
+
+      PlanNodeRef plan = make_plan(client, iteration);
+      Stopwatch timer;
+      Status st = execute(plan);
+      if (st.ok()) {
+        response_ms[client].push_back(timer.ElapsedSeconds() * 1e3);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++iteration;
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    clients.emplace_back(client_loop, c);
+  }
+  for (auto& t : clients) t.join();
+
+  DriverReport report;
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.cpu_seconds = cpu.ElapsedSeconds();
+  report.completed = completed.load();
+  report.failed = failed.load();
+  report.throughput_qps =
+      report.wall_seconds > 0 ? double(report.completed) / report.wall_seconds
+                              : 0;
+
+  std::vector<double> all;
+  for (auto& v : response_ms) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    double sum = 0;
+    for (double v : all) sum += v;
+    report.mean_response_ms = sum / double(all.size());
+    auto at = [&](std::size_t permille) {
+      std::size_t idx = (all.size() * permille) / 1000;
+      return all[std::min(idx, all.size() - 1)];
+    };
+    report.p50_response_ms = at(500);
+    report.p95_response_ms = at(950);
+    report.p99_response_ms = at(990);
+  }
+  return report;
+}
+
+}  // namespace sharing

@@ -1,0 +1,61 @@
+// Closed-loop client driver: N clients iteratively submit template
+// instantiations and wait for results, exactly like the demo's workload
+// harness. Reports throughput and response-time statistics plus process
+// CPU time (the GUI's auxiliary measurement).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "exec/plan.h"
+
+namespace sharing {
+
+struct DriverOptions {
+  std::size_t num_clients = 4;
+
+  /// Measurement window; clients stop starting new queries after it ends.
+  double duration_seconds = 2.0;
+
+  /// When true, clients coordinate to submit their queries in waves
+  /// (barrier between rounds). Batching maximizes SP opportunities and
+  /// amortizes GQP admission cost (Scenario IV).
+  bool batched = false;
+
+  /// Optional cap on total completed queries (0 = run until the window
+  /// closes). Useful for fixed-work experiments.
+  int64_t max_queries = 0;
+};
+
+struct DriverReport {
+  int64_t completed = 0;
+  int64_t failed = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  double throughput_qps = 0;
+  double mean_response_ms = 0;
+  double p50_response_ms = 0;
+  double p95_response_ms = 0;
+  double p99_response_ms = 0;
+
+  std::string ToString() const;
+};
+
+/// Produces the plan a given client submits at a given iteration (clients
+/// call this concurrently; it must be thread-safe).
+using PlanFactory = std::function<PlanNodeRef(std::size_t client,
+                                              uint64_t iteration)>;
+
+/// Executes one plan to completion (collects results) and returns its
+/// status. Bound to an engine mode by the caller.
+using ExecuteFn = std::function<Status(const PlanNodeRef&)>;
+
+/// Runs the closed loop and gathers statistics.
+DriverReport RunClosedLoop(const DriverOptions& options,
+                           const PlanFactory& make_plan,
+                           const ExecuteFn& execute);
+
+}  // namespace sharing

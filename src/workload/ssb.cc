@@ -1,0 +1,771 @@
+#include "workload/ssb.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "storage/tuple.h"
+
+namespace sharing::ssb {
+
+namespace {
+
+// Column indices (kept in sync with the schema builders below).
+enum LoCol : std::size_t {
+  kLoOrderKey = 0,
+  kLoLineNumber,
+  kLoCustKey,
+  kLoPartKey,
+  kLoSuppKey,
+  kLoOrderDate,  // d_datekey value
+  kLoOrderPriority,
+  kLoShipPriority,
+  kLoQuantity,
+  kLoExtendedPrice,
+  kLoOrdTotalPrice,
+  kLoDiscount,
+  kLoRevenue,
+  kLoSupplyCost,
+  kLoTax,
+  kLoCommitDate,
+  kLoShipMode,
+};
+
+enum DCol : std::size_t {
+  kDDateKey = 0,
+  kDDate,
+  kDDayOfWeek,
+  kDMonth,
+  kDYear,
+  kDYearMonthNum,
+  kDYearMonth,
+  kDDayNumInWeek,
+  kDDayNumInMonth,
+  kDDayNumInYear,
+  kDMonthNumInYear,
+  kDWeekNumInYear,
+  kDSellingSeason,
+  kDHolidayFl,
+  kDWeekdayFl,
+};
+
+enum CCol : std::size_t {
+  kCCustKey = 0,
+  kCName,
+  kCAddress,
+  kCCity,
+  kCNation,
+  kCRegion,
+  kCPhone,
+  kCMktSegment,
+};
+
+enum SCol : std::size_t {
+  kSSuppKey = 0,
+  kSName,
+  kSAddress,
+  kSCity,
+  kSNation,
+  kSRegion,
+  kSPhone,
+};
+
+enum PCol : std::size_t {
+  kPPartKey = 0,
+  kPName,
+  kPMfgr,
+  kPCategory,
+  kPBrand1,
+  kPColor,
+  kPType,
+  kPSize,
+  kPContainer,
+};
+
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+
+// 25 nations, 5 per region (region = index / 5).
+const char* kNations[25] = {
+    "ALGERIA",   "ETHIOPIA", "KENYA",         "MOROCCO",   "MOZAMBIQUE",
+    "ARGENTINA", "BRAZIL",   "CANADA",        "PERU",      "UNITED STATES",
+    "CHINA",     "INDIA",    "INDONESIA",     "JAPAN",     "VIETNAM",
+    "FRANCE",    "GERMANY",  "ROMANIA",       "RUSSIA",    "UNITED KINGDOM",
+    "EGYPT",     "IRAN",     "IRAQ",          "JORDAN",    "SAUDI ARABIA"};
+
+const char* kMktSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                               "HOUSEHOLD", "MACHINERY"};
+const char* kColors[10] = {"almond", "aqua",  "azure",  "beige", "black",
+                           "blue",   "brown", "coral",  "cream", "cyan"};
+const char* kContainers[8] = {"SM CASE", "SM BOX",  "SM PACK", "SM PKG",
+                              "LG CASE", "LG BOX",  "LG PACK", "LG PKG"};
+const char* kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                             "TRUCK",   "MAIL", "FOB"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECI", "5-LOW"};
+const char* kMonths[12] = {"January", "February", "March",     "April",
+                           "May",     "June",     "July",      "August",
+                           "September", "October", "November", "December"};
+const char* kDays[7] = {"Monday", "Tuesday", "Wednesday", "Thursday",
+                        "Friday", "Saturday", "Sunday"};
+
+/// City: 9-char nation prefix + one digit, e.g. "UNITED KI1" (SSB spec).
+std::string CityOf(int nation_idx, int suffix) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%-9.9s%d", kNations[nation_idx], suffix);
+  return buf;
+}
+
+}  // namespace
+
+Schema LineorderSchema() {
+  return Schema({
+      Column::Int64("lo_orderkey"),
+      Column::Int64("lo_linenumber"),
+      Column::Int64("lo_custkey"),
+      Column::Int64("lo_partkey"),
+      Column::Int64("lo_suppkey"),
+      Column::Int64("lo_orderdate"),
+      Column::String("lo_orderpriority", 15),
+      Column::String("lo_shippriority", 1),
+      Column::Int64("lo_quantity"),
+      Column::Double("lo_extendedprice"),
+      Column::Double("lo_ordtotalprice"),
+      Column::Int64("lo_discount"),
+      Column::Double("lo_revenue"),
+      Column::Double("lo_supplycost"),
+      Column::Int64("lo_tax"),
+      Column::Int64("lo_commitdate"),
+      Column::String("lo_shipmode", 10),
+  });
+}
+
+Schema DateSchema() {
+  return Schema({
+      Column::Int64("d_datekey"),
+      Column::String("d_date", 18),
+      Column::String("d_dayofweek", 9),
+      Column::String("d_month", 9),
+      Column::Int64("d_year"),
+      Column::Int64("d_yearmonthnum"),
+      Column::String("d_yearmonth", 7),
+      Column::Int64("d_daynuminweek"),
+      Column::Int64("d_daynuminmonth"),
+      Column::Int64("d_daynuminyear"),
+      Column::Int64("d_monthnuminyear"),
+      Column::Int64("d_weeknuminyear"),
+      Column::String("d_sellingseason", 12),
+      Column::String("d_holidayfl", 1),
+      Column::String("d_weekdayfl", 1),
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      Column::Int64("c_custkey"),
+      Column::String("c_name", 25),
+      Column::String("c_address", 25),
+      Column::String("c_city", 10),
+      Column::String("c_nation", 15),
+      Column::String("c_region", 12),
+      Column::String("c_phone", 15),
+      Column::String("c_mktsegment", 10),
+  });
+}
+
+Schema SupplierSchema() {
+  return Schema({
+      Column::Int64("s_suppkey"),
+      Column::String("s_name", 25),
+      Column::String("s_address", 25),
+      Column::String("s_city", 10),
+      Column::String("s_nation", 15),
+      Column::String("s_region", 12),
+      Column::String("s_phone", 15),
+  });
+}
+
+Schema PartSchema() {
+  return Schema({
+      Column::Int64("p_partkey"),
+      Column::String("p_name", 22),
+      Column::String("p_mfgr", 6),
+      Column::String("p_category", 7),
+      Column::String("p_brand1", 9),
+      Column::String("p_color", 11),
+      Column::String("p_type", 25),
+      Column::Int64("p_size"),
+      Column::String("p_container", 10),
+  });
+}
+
+SsbSizes SizesFor(double scale_factor) {
+  SsbSizes sizes;
+  sizes.lineorder = static_cast<int64_t>(6'000'000.0 * scale_factor);
+  sizes.customer = static_cast<int64_t>(30'000.0 * scale_factor);
+  sizes.supplier = static_cast<int64_t>(2'000.0 * scale_factor);
+  if (scale_factor >= 1.0) {
+    sizes.part = static_cast<int64_t>(
+        200'000.0 * (1.0 + std::floor(std::log2(scale_factor))));
+  } else {
+    sizes.part = static_cast<int64_t>(200'000.0 * scale_factor);
+  }
+  // Floors for tiny test scale factors (SSB is not defined below SF 1).
+  // Dimensions keep at least a few hundred rows so that a per-dimension
+  // selectivity like the scenarios' 1% still selects a meaningful, nonzero
+  // fraction — with a 20-row supplier table, 1% would quantize to zero and
+  // every star join would be empty.
+  sizes.lineorder = std::max<int64_t>(sizes.lineorder, 1000);
+  sizes.customer = std::max<int64_t>(sizes.customer, 1000);
+  sizes.supplier = std::max<int64_t>(sizes.supplier, 500);
+  sizes.part = std::max<int64_t>(sizes.part, 500);
+  return sizes;
+}
+
+namespace {
+
+Status GenerateDate(Catalog* catalog, BufferPool* pool) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(table,
+                           catalog->CreateTable("date", DateSchema(), pool));
+  TableAppender appender(table);
+  for (int32_t day = 0; day < 2556; ++day) {
+    Date d{day};
+    int y, m, dd;
+    SplitDate(d, &y, &m, &dd);
+    auto row_or = appender.AppendRow();
+    SHARING_RETURN_NOT_OK(row_or.status());
+    RowWriter w = row_or.value();
+
+    int dow = day % 7;  // 1992-01-01 was a Wednesday; offset is cosmetic
+    char yearmonth[8];
+    std::snprintf(yearmonth, sizeof(yearmonth), "%.3s%d", kMonths[m - 1], y);
+    const char* season = (m == 12 || m == 1) ? "Christmas"
+                         : (m >= 6 && m <= 8) ? "Summer"
+                                              : "Regular";
+    Date year_start = MakeDate(y, 1, 1);
+    int day_in_year = day - year_start.days_since_epoch + 1;
+
+    w.SetInt64(kDDateKey, DateKey(d))
+        .SetString(kDDate, DateToString(d))
+        .SetString(kDDayOfWeek, kDays[dow])
+        .SetString(kDMonth, kMonths[m - 1])
+        .SetInt64(kDYear, y)
+        .SetInt64(kDYearMonthNum, int64_t{y} * 100 + m)
+        .SetString(kDYearMonth, yearmonth)
+        .SetInt64(kDDayNumInWeek, dow + 1)
+        .SetInt64(kDDayNumInMonth, dd)
+        .SetInt64(kDDayNumInYear, day_in_year)
+        .SetInt64(kDMonthNumInYear, m)
+        .SetInt64(kDWeekNumInYear, (day_in_year - 1) / 7 + 1)
+        .SetString(kDSellingSeason, season)
+        .SetString(kDHolidayFl, (dow >= 5) ? "1" : "0")
+        .SetString(kDWeekdayFl, (dow < 5) ? "1" : "0");
+  }
+  return appender.Finish();
+}
+
+Status GenerateCustomer(Catalog* catalog, BufferPool* pool, int64_t n,
+                        Rng* rng) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(
+      table, catalog->CreateTable("customer", CustomerSchema(), pool));
+  TableAppender appender(table);
+  for (int64_t k = 1; k <= n; ++k) {
+    auto row_or = appender.AppendRow();
+    SHARING_RETURN_NOT_OK(row_or.status());
+    RowWriter w = row_or.value();
+    int nation = static_cast<int>(rng->UniformInt(0, 24));
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%09lld",
+                  static_cast<long long>(k));
+    w.SetInt64(kCCustKey, k)
+        .SetString(kCName, name)
+        .SetString(kCAddress, rng->AlphaString(15))
+        .SetString(kCCity, CityOf(nation, static_cast<int>(k % 10)))
+        .SetString(kCNation, kNations[nation])
+        .SetString(kCRegion, kRegions[nation / 5])
+        .SetString(kCPhone, rng->AlphaString(15))
+        .SetString(kCMktSegment, kMktSegments[rng->UniformInt(0, 4)]);
+  }
+  return appender.Finish();
+}
+
+Status GenerateSupplier(Catalog* catalog, BufferPool* pool, int64_t n,
+                        Rng* rng) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(
+      table, catalog->CreateTable("supplier", SupplierSchema(), pool));
+  TableAppender appender(table);
+  for (int64_t k = 1; k <= n; ++k) {
+    auto row_or = appender.AppendRow();
+    SHARING_RETURN_NOT_OK(row_or.status());
+    RowWriter w = row_or.value();
+    int nation = static_cast<int>(rng->UniformInt(0, 24));
+    char name[32];
+    std::snprintf(name, sizeof(name), "Supplier#%09lld",
+                  static_cast<long long>(k));
+    w.SetInt64(kSSuppKey, k)
+        .SetString(kSName, name)
+        .SetString(kSAddress, rng->AlphaString(15))
+        .SetString(kSCity, CityOf(nation, static_cast<int>(k % 10)))
+        .SetString(kSNation, kNations[nation])
+        .SetString(kSRegion, kRegions[nation / 5])
+        .SetString(kSPhone, rng->AlphaString(15));
+  }
+  return appender.Finish();
+}
+
+Status GeneratePart(Catalog* catalog, BufferPool* pool, int64_t n, Rng* rng) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(table,
+                           catalog->CreateTable("part", PartSchema(), pool));
+  TableAppender appender(table);
+  for (int64_t k = 1; k <= n; ++k) {
+    auto row_or = appender.AppendRow();
+    SHARING_RETURN_NOT_OK(row_or.status());
+    RowWriter w = row_or.value();
+    int mfgr = static_cast<int>(rng->UniformInt(1, 5));
+    int cat = static_cast<int>(rng->UniformInt(1, 5));
+    int brand = static_cast<int>(rng->UniformInt(1, 40));
+    char mfgr_s[8], cat_s[8], brand_s[12];
+    std::snprintf(mfgr_s, sizeof(mfgr_s), "MFGR#%d", mfgr);
+    std::snprintf(cat_s, sizeof(cat_s), "MFGR#%d%d", mfgr, cat);
+    std::snprintf(brand_s, sizeof(brand_s), "MFGR#%d%d%d", mfgr, cat, brand);
+    const char* color = kColors[rng->UniformInt(0, 9)];
+    w.SetInt64(kPPartKey, k)
+        .SetString(kPName, std::string(color) + " " +
+                               kColors[rng->UniformInt(0, 9)])
+        .SetString(kPMfgr, mfgr_s)
+        .SetString(kPCategory, cat_s)
+        .SetString(kPBrand1, brand_s)
+        .SetString(kPColor, color)
+        .SetString(kPType, rng->AlphaString(20))
+        .SetInt64(kPSize, rng->UniformInt(1, 50))
+        .SetString(kPContainer, kContainers[rng->UniformInt(0, 7)]);
+  }
+  return appender.Finish();
+}
+
+Status GenerateLineorder(Catalog* catalog, BufferPool* pool,
+                         const SsbSizes& sizes, Rng* rng) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(
+      table, catalog->CreateTable("lineorder", LineorderSchema(), pool));
+  TableAppender appender(table);
+
+  int64_t order = 1;
+  int64_t line = 1;
+  int64_t lines_this_order = rng->UniformInt(1, 7);
+  int64_t order_total = 0;
+  for (int64_t i = 0; i < sizes.lineorder; ++i) {
+    auto row_or = appender.AppendRow();
+    SHARING_RETURN_NOT_OK(row_or.status());
+    RowWriter w = row_or.value();
+
+    if (line > lines_this_order) {
+      order += rng->UniformInt(1, 3);
+      line = 1;
+      lines_this_order = rng->UniformInt(1, 7);
+      order_total = rng->UniformInt(10000, 500000);
+    }
+
+    int32_t day = static_cast<int32_t>(rng->UniformInt(0, 2555));
+    Date odate{day};
+    int32_t cday = std::min<int32_t>(2555, day + 30);
+    Date cdate{cday};
+
+    int64_t quantity = rng->UniformInt(1, 50);
+    double ext_price =
+        static_cast<double>(rng->UniformInt(90000, 10000000)) / 100.0;
+    int64_t discount = rng->UniformInt(0, 10);
+    double revenue =
+        ext_price * static_cast<double>(100 - discount) / 100.0;
+    double supply_cost = ext_price * 0.6;
+
+    w.SetInt64(kLoOrderKey, order)
+        .SetInt64(kLoLineNumber, line)
+        .SetInt64(kLoCustKey, rng->UniformInt(1, sizes.customer))
+        .SetInt64(kLoPartKey, rng->UniformInt(1, sizes.part))
+        .SetInt64(kLoSuppKey, rng->UniformInt(1, sizes.supplier))
+        .SetInt64(kLoOrderDate, DateKey(odate))
+        .SetString(kLoOrderPriority, kPriorities[rng->UniformInt(0, 4)])
+        .SetString(kLoShipPriority, "0")
+        .SetInt64(kLoQuantity, quantity)
+        .SetDouble(kLoExtendedPrice, ext_price)
+        .SetDouble(kLoOrdTotalPrice, static_cast<double>(order_total))
+        .SetInt64(kLoDiscount, discount)
+        .SetDouble(kLoRevenue, revenue)
+        .SetDouble(kLoSupplyCost, supply_cost)
+        .SetInt64(kLoTax, rng->UniformInt(0, 8))
+        .SetInt64(kLoCommitDate, DateKey(cdate))
+        .SetString(kLoShipMode, kShipModes[rng->UniformInt(0, 6)]);
+    ++line;
+  }
+  return appender.Finish();
+}
+
+}  // namespace
+
+Status GenerateAll(Catalog* catalog, BufferPool* pool, double scale_factor,
+                   uint64_t seed) {
+  SsbSizes sizes = SizesFor(scale_factor);
+  Rng rng(seed);
+  SHARING_RETURN_NOT_OK(GenerateDate(catalog, pool));
+  SHARING_RETURN_NOT_OK(GenerateCustomer(catalog, pool, sizes.customer, &rng));
+  SHARING_RETURN_NOT_OK(GenerateSupplier(catalog, pool, sizes.supplier, &rng));
+  SHARING_RETURN_NOT_OK(GeneratePart(catalog, pool, sizes.part, &rng));
+  SHARING_RETURN_NOT_OK(GenerateLineorder(catalog, pool, sizes, &rng));
+  return Status::OK();
+}
+
+std::vector<CJoinLevelSpec> PipelineLevels() {
+  // Customer first: it is the dimension the scenario templates filter, so
+  // putting it at the head of the chain lets the pipeline's zero-bitmap
+  // short-circuit drop fact tuples before the unselective levels — the
+  // same most-selective-first ordering CJOIN's planner would pick.
+  return {
+      {"customer", kLoCustKey, kCCustKey},
+      {"date", kLoOrderDate, kDDateKey},
+      {"supplier", kLoSuppKey, kSSuppKey},
+      {"part", kLoPartKey, kPPartKey},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Query plan helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Scans {
+  Schema lo = LineorderSchema();
+  Schema d = DateSchema();
+  Schema c = CustomerSchema();
+  Schema s = SupplierSchema();
+  Schema p = PartSchema();
+};
+
+PlanNodeRef ScanLo(const Scans& t, ExprRef pred,
+                   std::vector<std::size_t> proj) {
+  return std::make_shared<ScanNode>("lineorder", t.lo, std::move(pred),
+                                    std::move(proj));
+}
+PlanNodeRef ScanD(const Scans& t, ExprRef pred,
+                  std::vector<std::size_t> proj) {
+  return std::make_shared<ScanNode>("date", t.d, std::move(pred),
+                                    std::move(proj));
+}
+PlanNodeRef ScanC(const Scans& t, ExprRef pred,
+                  std::vector<std::size_t> proj) {
+  return std::make_shared<ScanNode>("customer", t.c, std::move(pred),
+                                    std::move(proj));
+}
+PlanNodeRef ScanS(const Scans& t, ExprRef pred,
+                  std::vector<std::size_t> proj) {
+  return std::make_shared<ScanNode>("supplier", t.s, std::move(pred),
+                                    std::move(proj));
+}
+PlanNodeRef ScanP(const Scans& t, ExprRef pred,
+                  std::vector<std::size_t> proj) {
+  return std::make_shared<ScanNode>("part", t.p, std::move(pred),
+                                    std::move(proj));
+}
+
+/// Join with key columns resolved by name in the two output schemas.
+PlanNodeRef JoinOn(PlanNodeRef build, PlanNodeRef probe,
+                   const std::string& build_col,
+                   const std::string& probe_col) {
+  auto bk = build->output_schema().ColumnIndex(build_col);
+  auto pk = probe->output_schema().ColumnIndex(probe_col);
+  SHARING_CHECK(bk.ok()) << bk.status().ToString();
+  SHARING_CHECK(pk.ok()) << pk.status().ToString();
+  return std::make_shared<JoinNode>(std::move(build), std::move(probe),
+                                    bk.value(), pk.value());
+}
+
+std::size_t ColIdx(const PlanNodeRef& node, const std::string& name) {
+  auto idx = node->output_schema().ColumnIndex(name);
+  SHARING_CHECK(idx.ok()) << idx.status().ToString();
+  return idx.value();
+}
+
+ExprRef NamedCol(const PlanNodeRef& node, const std::string& name) {
+  std::size_t idx = ColIdx(node, name);
+  return Col(idx, node->output_schema().column(idx).type);
+}
+
+PlanNodeRef Agg(PlanNodeRef child, std::vector<std::string> group_names,
+                std::vector<AggSpec> aggs) {
+  std::vector<std::size_t> group_by;
+  group_by.reserve(group_names.size());
+  for (const auto& n : group_names) group_by.push_back(ColIdx(child, n));
+  return std::make_shared<AggregateNode>(std::move(child),
+                                         std::move(group_by),
+                                         std::move(aggs));
+}
+
+/// Q1.x: lineorder x date with fact-side discount/quantity filters;
+/// revenue = sum(lo_extendedprice * lo_discount).
+PlanNodeRef MakeQ1(ExprRef date_pred, ExprRef lo_pred) {
+  Scans t;
+  auto d = ScanD(t, std::move(date_pred), {kDDateKey});
+  auto lo = ScanLo(t, std::move(lo_pred),
+                   {kLoOrderDate, kLoExtendedPrice, kLoDiscount});
+  auto join = JoinOn(d, lo, "d_datekey", "lo_orderdate");
+  ExprRef revenue = Arith(ArithOp::kMul, NamedCol(join, "lo_extendedprice"),
+                          NamedCol(join, "lo_discount"));
+  return Agg(join, {}, {AggSpec::Sum(revenue, "revenue")});
+}
+
+/// Q2.x: part/supplier/date; group by d_year, p_brand1.
+PlanNodeRef MakeQ2(ExprRef part_pred, ExprRef supp_pred) {
+  Scans t;
+  auto d = ScanD(t, TruePredicate(), {kDDateKey, kDYear});
+  auto lo = ScanLo(t, TruePredicate(),
+                   {kLoOrderDate, kLoPartKey, kLoSuppKey, kLoRevenue});
+  auto j1 = JoinOn(d, lo, "d_datekey", "lo_orderdate");
+  auto s = ScanS(t, std::move(supp_pred), {kSSuppKey});
+  auto j2 = JoinOn(s, j1, "s_suppkey", "lo_suppkey");
+  auto p = ScanP(t, std::move(part_pred), {kPPartKey, kPBrand1});
+  auto j3 = JoinOn(p, j2, "p_partkey", "lo_partkey");
+  ExprRef revenue = NamedCol(j3, "lo_revenue");
+  auto agg = Agg(j3, {"d_year", "p_brand1"},
+                 {AggSpec::Sum(revenue, "revenue")});
+  return std::make_shared<SortNode>(
+      agg, std::vector<SortKey>{{0, true}, {1, true}});
+}
+
+/// Q3.x: customer/supplier/date; group by the given columns, revenue sum,
+/// ordered by year asc / revenue desc.
+PlanNodeRef MakeQ3(ExprRef cust_pred, ExprRef supp_pred, ExprRef date_pred,
+                   const std::string& c_group, const std::string& s_group) {
+  Scans t;
+  auto d = ScanD(t, std::move(date_pred), {kDDateKey, kDYear});
+  auto lo = ScanLo(t, TruePredicate(),
+                   {kLoOrderDate, kLoCustKey, kLoSuppKey, kLoRevenue});
+  auto j1 = JoinOn(d, lo, "d_datekey", "lo_orderdate");
+  auto s = ScanS(t, std::move(supp_pred),
+                 {kSSuppKey, (s_group == "s_city" ? kSCity : kSNation)});
+  auto j2 = JoinOn(s, j1, "s_suppkey", "lo_suppkey");
+  auto c = ScanC(t, std::move(cust_pred),
+                 {kCCustKey, (c_group == "c_city" ? kCCity : kCNation)});
+  auto j3 = JoinOn(c, j2, "c_custkey", "lo_custkey");
+  ExprRef revenue = NamedCol(j3, "lo_revenue");
+  auto agg = Agg(j3, {c_group, s_group, "d_year"},
+                 {AggSpec::Sum(revenue, "revenue")});
+  // ORDER BY d_year asc, revenue desc.
+  return std::make_shared<SortNode>(
+      agg, std::vector<SortKey>{{2, true}, {3, false}});
+}
+
+/// Q4.x: all four dimensions; profit = sum(lo_revenue - lo_supplycost).
+PlanNodeRef MakeQ4(ExprRef cust_pred, ExprRef supp_pred, ExprRef part_pred,
+                   ExprRef date_pred, std::vector<std::string> group_cols,
+                   std::size_t c_extra_col, std::size_t s_extra_col,
+                   std::size_t p_extra_col) {
+  Scans t;
+  auto d = ScanD(t, std::move(date_pred), {kDDateKey, kDYear});
+  auto lo = ScanLo(t, TruePredicate(),
+                   {kLoOrderDate, kLoCustKey, kLoSuppKey, kLoPartKey,
+                    kLoRevenue, kLoSupplyCost});
+  auto j1 = JoinOn(d, lo, "d_datekey", "lo_orderdate");
+  auto c = ScanC(t, std::move(cust_pred), {kCCustKey, c_extra_col});
+  auto j2 = JoinOn(c, j1, "c_custkey", "lo_custkey");
+  auto s = ScanS(t, std::move(supp_pred), {kSSuppKey, s_extra_col});
+  auto j3 = JoinOn(s, j2, "s_suppkey", "lo_suppkey");
+  auto p = ScanP(t, std::move(part_pred), {kPPartKey, p_extra_col});
+  auto j4 = JoinOn(p, j3, "p_partkey", "lo_partkey");
+  ExprRef profit = Arith(ArithOp::kSub, NamedCol(j4, "lo_revenue"),
+                         NamedCol(j4, "lo_supplycost"));
+  auto agg = Agg(j4, std::move(group_cols),
+                 {AggSpec::Sum(profit, "profit")});
+  return std::make_shared<SortNode>(
+      agg, std::vector<SortKey>{{0, true}, {1, true}});
+}
+
+ExprRef StrEq(const Schema& schema, const std::string& col,
+              const char* value) {
+  return Cmp(CmpOp::kEq, ColNamed(schema, col), Lit(value));
+}
+
+ExprRef StrIn2(const Schema& schema, const std::string& col, const char* a,
+               const char* b) {
+  return Or(Cmp(CmpOp::kEq, ColNamed(schema, col), Lit(a)),
+            Cmp(CmpOp::kEq, ColNamed(schema, col), Lit(b)));
+}
+
+}  // namespace
+
+StatusOr<PlanNodeRef> MakeQuery(int flight, int variant) {
+  Scans t;
+  switch (flight) {
+    case 1: {
+      ExprRef qty_lo, disc_lo, date_pred;
+      if (variant == 1) {
+        date_pred = Cmp(CmpOp::kEq, ColNamed(t.d, "d_year"), Lit(int64_t{1993}));
+        disc_lo = Between(ColNamed(t.lo, "lo_discount"), int64_t{1},
+                          int64_t{3});
+        qty_lo = Cmp(CmpOp::kLt, ColNamed(t.lo, "lo_quantity"),
+                     Lit(int64_t{25}));
+      } else if (variant == 2) {
+        date_pred = Cmp(CmpOp::kEq, ColNamed(t.d, "d_yearmonthnum"),
+                        Lit(int64_t{199401}));
+        disc_lo = Between(ColNamed(t.lo, "lo_discount"), int64_t{4},
+                          int64_t{6});
+        qty_lo = Between(ColNamed(t.lo, "lo_quantity"), int64_t{26},
+                         int64_t{35});
+      } else if (variant == 3) {
+        date_pred = And(Cmp(CmpOp::kEq, ColNamed(t.d, "d_weeknuminyear"),
+                            Lit(int64_t{6})),
+                        Cmp(CmpOp::kEq, ColNamed(t.d, "d_year"),
+                            Lit(int64_t{1994})));
+        disc_lo = Between(ColNamed(t.lo, "lo_discount"), int64_t{5},
+                          int64_t{7});
+        qty_lo = Between(ColNamed(t.lo, "lo_quantity"), int64_t{26},
+                         int64_t{35});
+      } else {
+        return Status::InvalidArgument("Q1 variant must be 1..3");
+      }
+      return MakeQ1(date_pred, And(disc_lo, qty_lo));
+    }
+    case 2: {
+      if (variant == 1) {
+        return MakeQ2(StrEq(t.p, "p_category", "MFGR#12"),
+                      StrEq(t.s, "s_region", "AMERICA"));
+      }
+      if (variant == 2) {
+        return MakeQ2(Between(ColNamed(t.p, "p_brand1"),
+                              std::string("MFGR#2221"),
+                              std::string("MFGR#2228")),
+                      StrEq(t.s, "s_region", "ASIA"));
+      }
+      if (variant == 3) {
+        return MakeQ2(StrEq(t.p, "p_brand1", "MFGR#2239"),
+                      StrEq(t.s, "s_region", "EUROPE"));
+      }
+      return Status::InvalidArgument("Q2 variant must be 1..3");
+    }
+    case 3: {
+      ExprRef years = Between(ColNamed(t.d, "d_year"), int64_t{1992},
+                              int64_t{1997});
+      if (variant == 1) {
+        return MakeQ3(StrEq(t.c, "c_region", "ASIA"),
+                      StrEq(t.s, "s_region", "ASIA"), years, "c_nation",
+                      "s_nation");
+      }
+      if (variant == 2) {
+        return MakeQ3(StrEq(t.c, "c_nation", "UNITED STATES"),
+                      StrEq(t.s, "s_nation", "UNITED STATES"), years,
+                      "c_city", "s_city");
+      }
+      if (variant == 3) {
+        return MakeQ3(StrIn2(t.c, "c_city", "UNITED KI1", "UNITED KI5"),
+                      StrIn2(t.s, "s_city", "UNITED KI1", "UNITED KI5"),
+                      years, "c_city", "s_city");
+      }
+      if (variant == 4) {
+        return MakeQ3(StrIn2(t.c, "c_city", "UNITED KI1", "UNITED KI5"),
+                      StrIn2(t.s, "s_city", "UNITED KI1", "UNITED KI5"),
+                      Cmp(CmpOp::kEq, ColNamed(t.d, "d_yearmonth"),
+                          Lit("Dec1997")),
+                      "c_city", "s_city");
+      }
+      return Status::InvalidArgument("Q3 variant must be 1..4");
+    }
+    case 4: {
+      ExprRef mfgr12 = StrIn2(t.p, "p_mfgr", "MFGR#1", "MFGR#2");
+      ExprRef years97_98 =
+          Between(ColNamed(t.d, "d_year"), int64_t{1997}, int64_t{1998});
+      if (variant == 1) {
+        return MakeQ4(StrEq(t.c, "c_region", "AMERICA"),
+                      StrEq(t.s, "s_region", "AMERICA"), mfgr12,
+                      TruePredicate(), {"d_year", "c_nation"}, kCNation,
+                      kSNation, kPMfgr);
+      }
+      if (variant == 2) {
+        return MakeQ4(StrEq(t.c, "c_region", "AMERICA"),
+                      StrEq(t.s, "s_region", "AMERICA"), mfgr12,
+                      years97_98, {"d_year", "s_nation", "p_category"},
+                      kCNation, kSNation, kPCategory);
+      }
+      if (variant == 3) {
+        return MakeQ4(StrEq(t.c, "c_region", "AMERICA"),
+                      StrEq(t.s, "s_nation", "UNITED STATES"),
+                      StrEq(t.p, "p_category", "MFGR#14"), years97_98,
+                      {"d_year", "s_city", "p_brand1"}, kCNation, kSCity,
+                      kPBrand1);
+      }
+      return Status::InvalidArgument("Q4 variant must be 1..3");
+    }
+    default:
+      return Status::InvalidArgument("flight must be 1..4");
+  }
+}
+
+PlanNodeRef ParameterizedStarPlan(const StarTemplateParams& params) {
+  Scans t;
+  // The window must not exceed the smallest key range the template filters
+  // (customer is floored at 1000 rows), or rotated variants would select a
+  // window that lies entirely outside the key space — an accidentally
+  // empty query instead of a `selectivity` fraction.
+  constexpr int64_t kWindow = 1000;
+  int64_t threshold = static_cast<int64_t>(params.selectivity * kWindow);
+  if (threshold < 1) threshold = 1;
+  if (threshold > kWindow) threshold = kWindow;
+  int num_variants = params.num_variants < 1 ? 1 : params.num_variants;
+  int64_t phase =
+      (static_cast<int64_t>(params.variant % num_variants) * 9973) % kWindow;
+
+  // ((c_custkey % window + phase) % window) < threshold keeps a
+  // ~`selectivity` fraction of the customer dimension for any key range;
+  // the phase rotates the kept window so different variants are textually
+  // different plans with identical cost.
+  ExprRef cust_pred =
+      Cmp(CmpOp::kLt,
+          Arith(ArithOp::kMod,
+                Arith(ArithOp::kAdd,
+                      Arith(ArithOp::kMod, ColNamed(t.c, "c_custkey"),
+                            Lit(kWindow)),
+                      Lit(phase)),
+                Lit(kWindow)),
+          Lit(threshold));
+
+  // Most-selective join first (customer carries the template's predicate):
+  // the inner join prunes the pipeline to ~`selectivity` of the fact rows
+  // before the unselective date/supplier joins — the plan any optimizer
+  // would emit, and the fair query-centric baseline for the GQP comparison.
+  auto lo = ScanLo(t, TruePredicate(),
+                   {kLoOrderDate, kLoCustKey, kLoSuppKey, kLoPartKey,
+                    kLoRevenue});
+  auto c = ScanC(t, cust_pred, {kCCustKey, kCNation});
+  auto j1 = JoinOn(c, lo, "c_custkey", "lo_custkey");
+  auto d = ScanD(t, TruePredicate(), {kDDateKey, kDYear});
+  auto j2 = JoinOn(d, j1, "d_datekey", "lo_orderdate");
+  auto s = ScanS(t, TruePredicate(), {kSSuppKey, kSNation});
+  PlanNodeRef top = JoinOn(s, j2, "s_suppkey", "lo_suppkey");
+  if (params.join_part) {
+    auto p = ScanP(t, TruePredicate(), {kPPartKey, kPCategory});
+    top = JoinOn(p, top, "p_partkey", "lo_partkey");
+  }
+  ExprRef revenue = NamedCol(top, "lo_revenue");
+  // Different aggregation tops over the *same* star sub-plan: queries with
+  // equal (selectivity, variant) but different agg_variant share work only
+  // below the aggregation — exactly the common-sub-plan situation of the
+  // paper's Fig. 1a / Fig. 2 that SP on the CJOIN stage exploits. Eight
+  // shapes: {SUM, AVG, MIN, MAX}(lo_revenue) x group by {d_year, d_datekey}.
+  std::string group =
+      (params.agg_variant & 4) != 0 ? "d_datekey" : "d_year";
+  switch (params.agg_variant & 3) {
+    case 1:
+      return Agg(top, {group}, {AggSpec::Avg(revenue, "revenue")});
+    case 2:
+      return Agg(top, {group}, {AggSpec::Min(revenue, "revenue")});
+    case 3:
+      return Agg(top, {group}, {AggSpec::Max(revenue, "revenue")});
+    default:
+      return Agg(top, {group}, {AggSpec::Sum(revenue, "revenue")});
+  }
+}
+
+}  // namespace sharing::ssb

@@ -1,0 +1,85 @@
+// Star Schema Benchmark (SSB): data generator and query templates.
+//
+// Scenarios II-IV run concurrent clients over instantiations of an SSB
+// query template against the lineorder fact table and its four dimensions
+// (date, customer, supplier, part). All keys are int64; lo_orderdate /
+// lo_commitdate store d_datekey values (yyyymmdd) so every join is an
+// int64 equi-join, as CJOIN expects.
+//
+// Besides the 13 standard queries (Q1.1-Q4.3), ParameterizedStarPlan
+// exposes the demo GUI's knobs directly: target selectivity, the number of
+// distinct plan variants in the mix (fewer variants => more common
+// sub-plans => more SP opportunities), and which dimensions to join.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cjoin/pipeline.h"
+#include "common/random.h"
+#include "common/status_or.h"
+#include "exec/plan.h"
+#include "storage/table.h"
+
+namespace sharing::ssb {
+
+Schema LineorderSchema();
+Schema DateSchema();
+Schema CustomerSchema();
+Schema SupplierSchema();
+Schema PartSchema();
+
+/// Row counts at `scale_factor`: lineorder 6,000,000*SF; customer
+/// 30,000*SF; supplier 2,000*SF; part 200,000*(1+floor(log2(SF)) when
+/// SF>=1, else scaled down); date 2,556 (fixed 7 years).
+struct SsbSizes {
+  int64_t lineorder = 0;
+  int64_t customer = 0;
+  int64_t supplier = 0;
+  int64_t part = 0;
+  int64_t date = 2556;
+};
+SsbSizes SizesFor(double scale_factor);
+
+/// Generates all five SSB tables into the catalog. Deterministic per seed.
+Status GenerateAll(Catalog* catalog, BufferPool* pool, double scale_factor,
+                   uint64_t seed = 42);
+
+/// CJOIN pipeline levels for the SSB star schema (date, customer,
+/// supplier, part — each joined through its lineorder foreign key).
+std::vector<CJoinLevelSpec> PipelineLevels();
+
+/// Standard SSB queries. `flight` in 1..4, `variant` in 1..3 (4.x has
+/// 1..3 as well; Q3 has 4 variants: 1..4).
+StatusOr<PlanNodeRef> MakeQuery(int flight, int variant);
+
+/// The demo's parameterized template (a Q3-style star query):
+///
+///   SELECT d_year, sum(lo_revenue)
+///   FROM lineorder JOIN customer JOIN supplier JOIN date
+///   WHERE c_custkey % 100 < sel_c AND (c_custkey + phase_c) predicate
+///     AND s_suppkey % 100 < sel_s ...
+///   GROUP BY d_year
+///
+/// Selectivity: each dimension keeps ~`selectivity` of its rows (so the
+/// join keeps ~selectivity^2 of lineorder via customer x supplier).
+/// `variant` selects one of `num_variants` rotation phases: plans with the
+/// same (selectivity, variant) are textually identical — SP-shareable —
+/// while different variants are disjoint plans. This reproduces the GUI's
+/// "number of possible different plans" knob.
+struct StarTemplateParams {
+  double selectivity = 0.01;   // per-dimension fraction kept
+  int num_variants = 16;       // distinct plans in the mix
+  int variant = 0;             // which plan [0, num_variants)
+  bool join_part = false;      // also join the part dimension
+  /// Which aggregation tops the star sub-plan (0..7: {SUM,AVG,MIN,MAX} of
+  /// lo_revenue grouped by d_year or d_datekey). Distinct values give
+  /// textually different plans that still share the whole join sub-plan —
+  /// the paper Fig. 1a shape.
+  int agg_variant = 0;
+};
+PlanNodeRef ParameterizedStarPlan(const StarTemplateParams& params);
+
+}  // namespace sharing::ssb

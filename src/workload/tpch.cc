@@ -1,0 +1,180 @@
+#include "workload/tpch.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "storage/tuple.h"
+
+namespace sharing::tpch {
+
+namespace {
+
+enum LineitemCol : std::size_t {
+  kOrderKey = 0,
+  kPartKey,
+  kSuppKey,
+  kLineNumber,
+  kQuantity,
+  kExtendedPrice,
+  kDiscount,
+  kTax,
+  kReturnFlag,
+  kLineStatus,
+  kShipDate,
+  kCommitDate,
+  kReceiptDate,
+  kShipInstruct,
+  kShipMode,
+  kComment,
+};
+
+constexpr int64_t kRowsPerSf = 6'000'000;
+
+const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kShipInstructs[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                "NONE", "TAKE BACK RETURN"};
+
+}  // namespace
+
+Schema LineitemSchema() {
+  return Schema({
+      Column::Int64("l_orderkey"),
+      Column::Int64("l_partkey"),
+      Column::Int64("l_suppkey"),
+      Column::Int64("l_linenumber"),
+      Column::Double("l_quantity"),
+      Column::Double("l_extendedprice"),
+      Column::Double("l_discount"),
+      Column::Double("l_tax"),
+      Column::String("l_returnflag", 1),
+      Column::String("l_linestatus", 1),
+      Column::DateCol("l_shipdate"),
+      Column::DateCol("l_commitdate"),
+      Column::DateCol("l_receiptdate"),
+      Column::String("l_shipinstruct", 25),
+      Column::String("l_shipmode", 10),
+      Column::String("l_comment", 27),
+  });
+}
+
+StatusOr<Table*> GenerateLineitem(Catalog* catalog, BufferPool* pool,
+                                  double scale_factor, uint64_t seed) {
+  Table* table;
+  SHARING_ASSIGN_OR_RETURN(
+      table, catalog->CreateTable("lineitem", LineitemSchema(), pool));
+
+  const int64_t n_rows =
+      static_cast<int64_t>(static_cast<double>(kRowsPerSf) * scale_factor);
+  Rng rng(seed);
+  const Date ship_lo = MakeDate(1992, 1, 2);
+  const Date ship_hi = MakeDate(1998, 12, 1);
+  const Date current = MakeDate(1995, 6, 17);  // TPC-H "currentdate"
+
+  TableAppender appender(table);
+  int64_t order = 1;
+  int64_t line_in_order = 1;
+  int64_t lines_this_order = rng.UniformInt(1, 7);
+  for (int64_t i = 0; i < n_rows; ++i) {
+    auto row_or = appender.AppendRow();
+    SHARING_RETURN_NOT_OK(row_or.status());
+    RowWriter w = row_or.value();
+
+    if (line_in_order > lines_this_order) {
+      order += rng.UniformInt(1, 3);
+      line_in_order = 1;
+      lines_this_order = rng.UniformInt(1, 7);
+    }
+
+    double quantity = static_cast<double>(rng.UniformInt(1, 50));
+    double part_price =
+        static_cast<double>(rng.UniformInt(90000, 10500000)) / 100.0;
+    double ext_price = quantity * part_price / 10.0;
+    double discount = static_cast<double>(rng.UniformInt(0, 10)) / 100.0;
+    double tax = static_cast<double>(rng.UniformInt(0, 8)) / 100.0;
+
+    Date ship{static_cast<int32_t>(rng.UniformInt(
+        ship_lo.days_since_epoch, ship_hi.days_since_epoch))};
+    Date commit{ship.days_since_epoch +
+                static_cast<int32_t>(rng.UniformInt(-30, 30))};
+    if (commit.days_since_epoch < 0) commit.days_since_epoch = 0;
+    Date receipt{ship.days_since_epoch +
+                 static_cast<int32_t>(rng.UniformInt(1, 30))};
+
+    const char* rf;
+    if (receipt <= current) {
+      rf = rng.Bernoulli(0.5) ? "R" : "A";
+    } else {
+      rf = "N";
+    }
+    const char* ls = ship > current ? "O" : "F";
+
+    w.SetInt64(kOrderKey, order)
+        .SetInt64(kPartKey, rng.UniformInt(1, 200000))
+        .SetInt64(kSuppKey, rng.UniformInt(1, 10000))
+        .SetInt64(kLineNumber, line_in_order)
+        .SetDouble(kQuantity, quantity)
+        .SetDouble(kExtendedPrice, ext_price)
+        .SetDouble(kDiscount, discount)
+        .SetDouble(kTax, tax)
+        .SetString(kReturnFlag, rf)
+        .SetString(kLineStatus, ls)
+        .SetDate(kShipDate, ship)
+        .SetDate(kCommitDate, commit)
+        .SetDate(kReceiptDate, receipt)
+        .SetString(kShipInstruct,
+                   kShipInstructs[rng.UniformInt(0, 3)])
+        .SetString(kShipMode, kShipModes[rng.UniformInt(0, 6)])
+        .SetString(kComment, rng.AlphaString(12));
+    ++line_in_order;
+  }
+  SHARING_RETURN_NOT_OK(appender.Finish());
+  return table;
+}
+
+PlanNodeRef MakeQ1Plan(int delta_days, bool with_sort) {
+  Schema schema = LineitemSchema();
+  Date cutoff = MakeDate(1998, 12, 1);
+  cutoff.days_since_epoch -= delta_days;
+
+  ExprRef pred = Cmp(CmpOp::kLe, Col(kShipDate, ValueType::kDate),
+                     Lit(cutoff));
+
+  // Scan projects the columns Q1 consumes; indices below are positions in
+  // the *projected* schema.
+  std::vector<std::size_t> projection = {kQuantity,   kExtendedPrice,
+                                         kDiscount,   kTax,
+                                         kReturnFlag, kLineStatus};
+  auto scan = std::make_shared<ScanNode>("lineitem", schema, pred,
+                                         projection);
+
+  constexpr std::size_t kPQty = 0, kPPrice = 1, kPDisc = 2, kPTax = 3,
+                        kPRf = 4, kPLs = 5;
+  ExprRef qty = Col(kPQty, ValueType::kDouble);
+  ExprRef price = Col(kPPrice, ValueType::kDouble);
+  ExprRef disc = Col(kPDisc, ValueType::kDouble);
+  ExprRef tax = Col(kPTax, ValueType::kDouble);
+  ExprRef disc_price =
+      Arith(ArithOp::kMul, price,
+            Arith(ArithOp::kSub, Lit(1.0), disc));
+  ExprRef charge = Arith(ArithOp::kMul, disc_price,
+                         Arith(ArithOp::kAdd, Lit(1.0), tax));
+
+  std::vector<AggSpec> aggs = {
+      AggSpec::Sum(qty, "sum_qty"),
+      AggSpec::Sum(price, "sum_base_price"),
+      AggSpec::Sum(disc_price, "sum_disc_price"),
+      AggSpec::Sum(charge, "sum_charge"),
+      AggSpec::Avg(qty, "avg_qty"),
+      AggSpec::Avg(price, "avg_price"),
+      AggSpec::Avg(disc, "avg_disc"),
+      AggSpec::Count("count_order"),
+  };
+  PlanNodeRef agg = std::make_shared<AggregateNode>(
+      scan, std::vector<std::size_t>{kPRf, kPLs}, std::move(aggs));
+
+  if (!with_sort) return agg;
+  return std::make_shared<SortNode>(
+      agg, std::vector<SortKey>{{0, true}, {1, true}});
+}
+
+}  // namespace sharing::tpch

@@ -1,0 +1,37 @@
+// TPC-H subset: the `lineitem` table generator and query Q1.
+//
+// Scenario I of the demo runs identical TPC-H Q1 instances concurrently to
+// expose the difference between push- and pull-based SP at the table-scan
+// stage. Only lineitem/Q1 are needed from TPC-H; SSB (ssb.h) covers the
+// star-join scenarios.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status_or.h"
+#include "exec/plan.h"
+#include "storage/table.h"
+
+namespace sharing::tpch {
+
+/// Full 16-column TPC-H lineitem schema (fixed-width encoding; dates as
+/// engine dates, decimals as doubles).
+Schema LineitemSchema();
+
+/// Generates `lineitem` at `scale_factor` (6,000,000 rows/SF) into the
+/// catalog. Deterministic for a given seed.
+StatusOr<Table*> GenerateLineitem(Catalog* catalog, BufferPool* pool,
+                                  double scale_factor, uint64_t seed = 42);
+
+/// TPC-H Q1 plan:
+///   SELECT l_returnflag, l_linestatus, sum(qty), sum(extprice),
+///          sum(extprice*(1-disc)), sum(extprice*(1-disc)*(1+tax)),
+///          avg(qty), avg(extprice), avg(disc), count(*)
+///   FROM lineitem WHERE l_shipdate <= date '1998-12-01' - `delta` days
+///   GROUP BY l_returnflag, l_linestatus
+/// (ORDER BY omitted by default: the demo's scenario measures scan+agg;
+/// pass `with_sort` to add it.)
+PlanNodeRef MakeQ1Plan(int delta_days = 90, bool with_sort = false);
+
+}  // namespace sharing::tpch

@@ -1,0 +1,167 @@
+// Unit tests for the expression library: evaluation semantics and the
+// canonical forms SP matching depends on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/expr.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace sharing {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : schema_({Column::Int64("i"), Column::Double("d"),
+                 Column::DateCol("t"), Column::String("s", 8)}),
+        row_(schema_.row_width()) {
+    RowWriter w(row_.data(), &schema_);
+    w.SetInt64(0, 10)
+        .SetDouble(1, 2.5)
+        .SetDate(2, MakeDate(1994, 3, 15))
+        .SetString(3, "BRAND");
+  }
+
+  TupleRef Row() const { return TupleRef(row_.data(), &schema_); }
+
+  ExprRef IntCol() const { return Col(0, ValueType::kInt64); }
+  ExprRef DblCol() const { return Col(1, ValueType::kDouble); }
+  ExprRef DateCol() const { return Col(2, ValueType::kDate); }
+  ExprRef StrCol() const { return Col(3, ValueType::kString); }
+
+  Schema schema_;
+  std::vector<uint8_t> row_;
+};
+
+TEST_F(ExprTest, ColumnEval) {
+  EXPECT_EQ(IntCol()->EvalInt64(Row()), 10);
+  EXPECT_DOUBLE_EQ(DblCol()->EvalDouble(Row()), 2.5);
+  EXPECT_EQ(StrCol()->EvalString(Row()), "BRAND");
+}
+
+TEST_F(ExprTest, LiteralEval) {
+  EXPECT_EQ(Lit(int64_t{7})->EvalInt64(Row()), 7);
+  EXPECT_DOUBLE_EQ(Lit(3.25)->EvalDouble(Row()), 3.25);
+  EXPECT_EQ(Lit("xyz")->EvalString(Row()), "xyz");
+}
+
+TEST_F(ExprTest, IntComparisonIsExact) {
+  EXPECT_TRUE(Cmp(CmpOp::kEq, IntCol(), Lit(int64_t{10}))->EvalBool(Row()));
+  EXPECT_FALSE(Cmp(CmpOp::kLt, IntCol(), Lit(int64_t{10}))->EvalBool(Row()));
+  EXPECT_TRUE(Cmp(CmpOp::kLe, IntCol(), Lit(int64_t{10}))->EvalBool(Row()));
+  EXPECT_TRUE(Cmp(CmpOp::kNe, IntCol(), Lit(int64_t{11}))->EvalBool(Row()));
+}
+
+TEST_F(ExprTest, MixedNumericComparisonUsesDouble) {
+  // 10 (int) > 2.5 (double)
+  EXPECT_TRUE(Cmp(CmpOp::kGt, IntCol(), DblCol())->EvalBool(Row()));
+}
+
+TEST_F(ExprTest, DateComparison) {
+  EXPECT_TRUE(
+      Cmp(CmpOp::kGe, DateCol(), Lit(MakeDate(1994, 1, 1)))->EvalBool(Row()));
+  EXPECT_FALSE(
+      Cmp(CmpOp::kGt, DateCol(), Lit(MakeDate(1998, 1, 1)))->EvalBool(Row()));
+}
+
+TEST_F(ExprTest, StringComparisonTrimsPadding) {
+  // The stored field is "BRAND   " (padded to 8); comparison must use the
+  // trimmed value.
+  EXPECT_TRUE(Cmp(CmpOp::kEq, StrCol(), Lit("BRAND"))->EvalBool(Row()));
+  EXPECT_TRUE(Cmp(CmpOp::kLt, StrCol(), Lit("CANDY"))->EvalBool(Row()));
+}
+
+TEST_F(ExprTest, BetweenInclusive) {
+  EXPECT_TRUE(
+      Between(IntCol(), int64_t{10}, int64_t{20})->EvalBool(Row()));
+  EXPECT_TRUE(
+      Between(IntCol(), int64_t{5}, int64_t{10})->EvalBool(Row()));
+  EXPECT_FALSE(
+      Between(IntCol(), int64_t{11}, int64_t{20})->EvalBool(Row()));
+}
+
+TEST_F(ExprTest, LogicalConnectives) {
+  ExprRef t = Cmp(CmpOp::kEq, IntCol(), Lit(int64_t{10}));
+  ExprRef f = Cmp(CmpOp::kEq, IntCol(), Lit(int64_t{11}));
+  EXPECT_TRUE(And(t, t)->EvalBool(Row()));
+  EXPECT_FALSE(And(t, f)->EvalBool(Row()));
+  EXPECT_TRUE(Or(f, t)->EvalBool(Row()));
+  EXPECT_FALSE(Or(f, f)->EvalBool(Row()));
+  EXPECT_TRUE(Not(f)->EvalBool(Row()));
+}
+
+TEST_F(ExprTest, ArithInt) {
+  EXPECT_EQ(Arith(ArithOp::kAdd, IntCol(), Lit(int64_t{5}))->EvalInt64(Row()),
+            15);
+  EXPECT_EQ(Arith(ArithOp::kSub, IntCol(), Lit(int64_t{5}))->EvalInt64(Row()),
+            5);
+  EXPECT_EQ(Arith(ArithOp::kMul, IntCol(), Lit(int64_t{5}))->EvalInt64(Row()),
+            50);
+  EXPECT_EQ(Arith(ArithOp::kDiv, IntCol(), Lit(int64_t{3}))->EvalInt64(Row()),
+            3);
+  EXPECT_EQ(Arith(ArithOp::kMod, IntCol(), Lit(int64_t{3}))->EvalInt64(Row()),
+            1);
+}
+
+TEST_F(ExprTest, ArithDoublePropagates) {
+  ExprRef e = Arith(ArithOp::kMul, DblCol(), Lit(int64_t{4}));
+  EXPECT_EQ(e->output_type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(e->EvalDouble(Row()), 10.0);
+}
+
+TEST_F(ExprTest, Q1StyleExpression) {
+  // extprice * (1 - discount) with extprice=2.5(col d), discount=0.0...
+  ExprRef e = Arith(ArithOp::kMul, DblCol(),
+                    Arith(ArithOp::kSub, Lit(1.0), Lit(0.2)));
+  EXPECT_NEAR(e->EvalDouble(Row()), 2.0, 1e-12);
+}
+
+TEST_F(ExprTest, TruePredicateAlwaysTrue) {
+  EXPECT_TRUE(TruePredicate()->EvalBool(Row()));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical forms: identical expressions render identically; different
+// ones differ (the SP-matching contract).
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprTest, CanonicalStableAcrossInstances) {
+  auto make = [&] {
+    return And(Cmp(CmpOp::kGe, IntCol(), Lit(int64_t{3})),
+               Cmp(CmpOp::kLt, DblCol(), Lit(9.5)));
+  };
+  EXPECT_EQ(make()->Canonical(), make()->Canonical());
+}
+
+TEST_F(ExprTest, CanonicalDistinguishesOps) {
+  EXPECT_NE(Cmp(CmpOp::kLt, IntCol(), Lit(int64_t{3}))->Canonical(),
+            Cmp(CmpOp::kLe, IntCol(), Lit(int64_t{3}))->Canonical());
+}
+
+TEST_F(ExprTest, CanonicalDistinguishesLiterals) {
+  EXPECT_NE(Cmp(CmpOp::kLt, IntCol(), Lit(int64_t{3}))->Canonical(),
+            Cmp(CmpOp::kLt, IntCol(), Lit(int64_t{4}))->Canonical());
+}
+
+TEST_F(ExprTest, CanonicalDistinguishesColumns) {
+  EXPECT_NE(Cmp(CmpOp::kLt, IntCol(), Lit(int64_t{3}))->Canonical(),
+            Cmp(CmpOp::kLt, Col(5, ValueType::kInt64), Lit(int64_t{3}))
+                ->Canonical());
+}
+
+TEST_F(ExprTest, CanonicalRendersStructure) {
+  ExprRef e = And(Cmp(CmpOp::kEq, IntCol(), Lit(int64_t{1})),
+                  Not(Cmp(CmpOp::kGt, DblCol(), Lit(2.0))));
+  EXPECT_EQ(e->Canonical(), "and((c0==1),not((c1>2)))");
+}
+
+TEST_F(ExprTest, ColNamedResolvesByName) {
+  ExprRef e = ColNamed(schema_, "d");
+  EXPECT_DOUBLE_EQ(e->EvalDouble(Row()), 2.5);
+}
+
+}  // namespace
+}  // namespace sharing

@@ -1,0 +1,284 @@
+// Tests for the pipelined operators, cross-checked against the
+// ReferenceExecutor (independent implementation).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "exec/operators.h"
+#include "exec/reference_executor.h"
+#include "qpipe/fifo_buffer.h"
+#include "test_util.h"
+
+namespace sharing {
+namespace {
+
+using testing::ExpectResultsEquivalent;
+using testing::MakeTestDatabase;
+
+/// Runs `plan` through the pipelined operators with plain FIFO wiring on
+/// dedicated threads (no stages involved) and materializes the output.
+class PipelineRunner {
+ public:
+  explicit PipelineRunner(Database* db) : db_(db) {}
+
+  StatusOr<ResultSet> Run(const PlanNodeRef& plan) {
+    ExecContext ctx;
+    auto source = Launch(plan, &ctx);
+    ResultSet result(plan->output_schema());
+    while (PageRef page = source->Next()) result.AppendPage(*page);
+    Status st = source->FinalStatus();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+    if (!st.ok()) return st;
+    return result;
+  }
+
+ private:
+  PageSourceRef Launch(const PlanNodeRef& node, ExecContext* ctx) {
+    auto out = std::make_shared<FifoBuffer>();
+    switch (node->kind()) {
+      case PlanKind::kScan: {
+        auto* scan = static_cast<const ScanNode*>(node.get());
+        Table* table = db_->catalog()->GetTable(scan->table_name()).value();
+        threads_.emplace_back([=] {
+          RunScan(*scan, table, nullptr, ctx, out.get());
+        });
+        break;
+      }
+      case PlanKind::kJoin: {
+        auto* join = static_cast<const JoinNode*>(node.get());
+        auto build = Launch(join->build(), ctx);
+        auto probe = Launch(join->probe(), ctx);
+        threads_.emplace_back([=] {
+          RunHashJoin(*join, build.get(), probe.get(), ctx, out.get());
+        });
+        break;
+      }
+      case PlanKind::kAggregate: {
+        auto* agg = static_cast<const AggregateNode*>(node.get());
+        auto input = Launch(agg->child(), ctx);
+        threads_.emplace_back([=] {
+          RunHashAggregate(*agg, input.get(), ctx, out.get());
+        });
+        break;
+      }
+      case PlanKind::kSort: {
+        auto* sort = static_cast<const SortNode*>(node.get());
+        auto input = Launch(sort->child(), ctx);
+        threads_.emplace_back([=] {
+          RunSort(*sort, input.get(), ctx, out.get());
+        });
+        break;
+      }
+    }
+    return out;
+  }
+
+  Database* db_;
+  std::vector<std::thread> threads_;
+};
+
+class OperatorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDatabase();
+    // "fact": 3000 rows, fk = id % 50, val = id * 0.5
+    Schema fact_schema({Column::Int64("id"), Column::Int64("fk"),
+                        Column::Double("val")});
+    auto t = db_->catalog()->CreateTable("fact", fact_schema,
+                                         db_->buffer_pool());
+    ASSERT_TRUE(t.ok());
+    TableAppender appender(t.value());
+    for (int64_t i = 0; i < 3000; ++i) {
+      auto row = appender.AppendRow();
+      ASSERT_TRUE(row.ok());
+      row.value().SetInt64(0, i).SetInt64(1, i % 50).SetDouble(
+          2, double(i) * 0.5);
+    }
+    ASSERT_TRUE(appender.Finish().ok());
+
+    // "dim": 50 rows, dk = 0..49, name = D<k%7>
+    Schema dim_schema({Column::Int64("dk"), Column::String("name", 4)});
+    auto d = db_->catalog()->CreateTable("dim", dim_schema,
+                                         db_->buffer_pool());
+    ASSERT_TRUE(d.ok());
+    TableAppender dim_appender(d.value());
+    for (int64_t k = 0; k < 50; ++k) {
+      auto row = dim_appender.AppendRow();
+      ASSERT_TRUE(row.ok());
+      row.value().SetInt64(0, k).SetString(1, "D" + std::to_string(k % 7));
+    }
+    ASSERT_TRUE(dim_appender.Finish().ok());
+  }
+
+  void CheckAgainstReference(const PlanNodeRef& plan) {
+    ReferenceExecutor ref(db_->catalog());
+    auto want = ref.Execute(*plan);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    PipelineRunner runner(db_.get());
+    auto got = runner.Run(plan);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectResultsEquivalent(want.value(), got.value());
+  }
+
+  Schema FactSchema() {
+    return db_->catalog()->GetTable("fact").value()->schema();
+  }
+  Schema DimSchema() {
+    return db_->catalog()->GetTable("dim").value()->schema();
+  }
+
+  PlanNodeRef FactScan(ExprRef pred) {
+    return std::make_shared<ScanNode>("fact", FactSchema(), std::move(pred),
+                                      std::vector<std::size_t>{0, 1, 2});
+  }
+  PlanNodeRef DimScan(ExprRef pred) {
+    return std::make_shared<ScanNode>("dim", DimSchema(), std::move(pred),
+                                      std::vector<std::size_t>{0, 1});
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(OperatorsTest, ScanUnfilteredMatchesReference) {
+  CheckAgainstReference(FactScan(TruePredicate()));
+}
+
+TEST_F(OperatorsTest, ScanFilteredMatchesReference) {
+  CheckAgainstReference(FactScan(
+      Cmp(CmpOp::kLt, Col(0, ValueType::kInt64), Lit(int64_t{777}))));
+}
+
+TEST_F(OperatorsTest, ScanEmptyResult) {
+  auto plan = FactScan(
+      Cmp(CmpOp::kLt, Col(0, ValueType::kInt64), Lit(int64_t{-1})));
+  PipelineRunner runner(db_.get());
+  auto got = runner.Run(plan);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().num_rows(), 0u);
+}
+
+TEST_F(OperatorsTest, ScanProjectionReorders) {
+  auto plan = std::make_shared<ScanNode>("fact", FactSchema(),
+                                         TruePredicate(),
+                                         std::vector<std::size_t>{2, 0});
+  CheckAgainstReference(plan);
+}
+
+TEST_F(OperatorsTest, HashJoinMatchesReference) {
+  auto join = std::make_shared<JoinNode>(DimScan(TruePredicate()),
+                                         FactScan(TruePredicate()), 0, 1);
+  CheckAgainstReference(join);
+}
+
+TEST_F(OperatorsTest, HashJoinWithSelectiveBuildSide) {
+  auto join = std::make_shared<JoinNode>(
+      DimScan(Cmp(CmpOp::kLt, Col(0, ValueType::kInt64), Lit(int64_t{5}))),
+      FactScan(TruePredicate()), 0, 1);
+  CheckAgainstReference(join);
+}
+
+TEST_F(OperatorsTest, HashJoinEmptyBuildSide) {
+  auto join = std::make_shared<JoinNode>(
+      DimScan(Cmp(CmpOp::kLt, Col(0, ValueType::kInt64), Lit(int64_t{0}))),
+      FactScan(TruePredicate()), 0, 1);
+  PipelineRunner runner(db_.get());
+  auto got = runner.Run(PlanNodeRef(join));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().num_rows(), 0u);
+}
+
+TEST_F(OperatorsTest, AggregateGroupedMatchesReference) {
+  auto agg = std::make_shared<AggregateNode>(
+      FactScan(TruePredicate()), std::vector<std::size_t>{1},
+      std::vector<AggSpec>{
+          AggSpec::Sum(Col(2, ValueType::kDouble), "sum_val"),
+          AggSpec::Avg(Col(2, ValueType::kDouble), "avg_val"),
+          AggSpec::Min(Col(2, ValueType::kDouble), "min_val"),
+          AggSpec::Max(Col(2, ValueType::kDouble), "max_val"),
+          AggSpec::Count("n")});
+  CheckAgainstReference(agg);
+}
+
+TEST_F(OperatorsTest, AggregateGlobalMatchesReference) {
+  auto agg = std::make_shared<AggregateNode>(
+      FactScan(TruePredicate()), std::vector<std::size_t>{},
+      std::vector<AggSpec>{AggSpec::Sum(Col(0, ValueType::kInt64), "s"),
+                           AggSpec::Count("n")});
+  CheckAgainstReference(agg);
+}
+
+TEST_F(OperatorsTest, AggregateCorrectSums) {
+  auto agg = std::make_shared<AggregateNode>(
+      FactScan(TruePredicate()), std::vector<std::size_t>{},
+      std::vector<AggSpec>{AggSpec::Sum(Col(0, ValueType::kInt64), "s"),
+                           AggSpec::Count("n")});
+  PipelineRunner runner(db_.get());
+  auto got = runner.Run(PlanNodeRef(agg));
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(got.value().Row(0).GetDouble(0), 3000.0 * 2999.0 / 2.0);
+  EXPECT_EQ(got.value().Row(0).GetInt64(1), 3000);
+}
+
+TEST_F(OperatorsTest, SortAscendingMatchesReference) {
+  auto sort = std::make_shared<SortNode>(
+      FactScan(Cmp(CmpOp::kLt, Col(0, ValueType::kInt64),
+                   Lit(int64_t{500}))),
+      std::vector<SortKey>{{2, false}, {0, true}});
+  CheckAgainstReference(sort);
+}
+
+TEST_F(OperatorsTest, SortProducesOrderedOutput) {
+  auto sort = std::make_shared<SortNode>(FactScan(TruePredicate()),
+                                         std::vector<SortKey>{{0, false}});
+  PipelineRunner runner(db_.get());
+  auto got = runner.Run(PlanNodeRef(sort));
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().num_rows(), 3000u);
+  for (std::size_t i = 1; i < got.value().num_rows(); ++i) {
+    EXPECT_GE(got.value().Row(i - 1).GetInt64(0),
+              got.value().Row(i).GetInt64(0));
+  }
+}
+
+TEST_F(OperatorsTest, JoinAggPipelineMatchesReference) {
+  auto join = std::make_shared<JoinNode>(DimScan(TruePredicate()),
+                                         FactScan(TruePredicate()), 0, 1);
+  std::size_t name_col = join->output_schema().ColumnIndex("name").value();
+  std::size_t val_col = join->output_schema().ColumnIndex("val").value();
+  auto agg = std::make_shared<AggregateNode>(
+      join, std::vector<std::size_t>{name_col},
+      std::vector<AggSpec>{
+          AggSpec::Sum(Col(val_col, ValueType::kDouble), "sum_val"),
+          AggSpec::Count("n")});
+  CheckAgainstReference(agg);
+}
+
+TEST_F(OperatorsTest, CancelledScanAborts) {
+  auto plan = FactScan(TruePredicate());
+  auto* scan = static_cast<const ScanNode*>(plan.get());
+  Table* table = db_->catalog()->GetTable("fact").value();
+  ExecContext ctx;
+  ctx.Cancel();
+  FifoBuffer out;
+  Status st = RunScan(*scan, table, nullptr, &ctx, &out);
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_EQ(out.Next(), nullptr);
+  EXPECT_EQ(out.FinalStatus().code(), StatusCode::kAborted);
+}
+
+TEST_F(OperatorsTest, AbandonedConsumerStopsProducer) {
+  auto plan = FactScan(TruePredicate());
+  auto* scan = static_cast<const ScanNode*>(plan.get());
+  Table* table = db_->catalog()->GetTable("fact").value();
+  ExecContext ctx;
+  auto out = std::make_shared<FifoBuffer>(2);
+  out->CancelReader();
+  Status st = RunScan(*scan, table, nullptr, &ctx, out.get());
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace sharing

@@ -1,0 +1,132 @@
+// Unit tests for plan nodes: output schemas, canonical forms and
+// signatures (the SP common-sub-plan contract at the plan level).
+
+#include <gtest/gtest.h>
+
+#include "exec/plan.h"
+
+namespace sharing {
+namespace {
+
+Schema BaseSchema() {
+  return Schema({Column::Int64("k"), Column::Int64("fk"),
+                 Column::Double("v"), Column::String("s", 6)});
+}
+
+Schema DimSchema() {
+  return Schema({Column::Int64("dk"), Column::String("name", 8)});
+}
+
+PlanNodeRef MakeScan(int64_t threshold = 5) {
+  return std::make_shared<ScanNode>(
+      "base", BaseSchema(),
+      Cmp(CmpOp::kLt, Col(0, ValueType::kInt64), Lit(threshold)),
+      std::vector<std::size_t>{0, 1, 2});
+}
+
+PlanNodeRef MakeDimScan() {
+  return std::make_shared<ScanNode>("dim", DimSchema(), TruePredicate(),
+                                    std::vector<std::size_t>{0, 1});
+}
+
+TEST(ScanNodeTest, OutputSchemaIsProjection) {
+  auto scan = MakeScan();
+  EXPECT_EQ(scan->output_schema().num_columns(), 3u);
+  EXPECT_EQ(scan->output_schema().column(2).name, "v");
+}
+
+TEST(ScanNodeTest, SignatureStable) {
+  EXPECT_EQ(MakeScan()->Signature(), MakeScan()->Signature());
+}
+
+TEST(ScanNodeTest, SignatureSensitiveToPredicate) {
+  EXPECT_NE(MakeScan(5)->Signature(), MakeScan(6)->Signature());
+}
+
+TEST(ScanNodeTest, SignatureSensitiveToProjection) {
+  auto a = std::make_shared<ScanNode>("base", BaseSchema(), TruePredicate(),
+                                      std::vector<std::size_t>{0, 1});
+  auto b = std::make_shared<ScanNode>("base", BaseSchema(), TruePredicate(),
+                                      std::vector<std::size_t>{1, 0});
+  EXPECT_NE(a->Signature(), b->Signature());
+}
+
+TEST(ScanNodeTest, SignatureSensitiveToTable) {
+  auto a = std::make_shared<ScanNode>("t1", BaseSchema(), TruePredicate(),
+                                      std::vector<std::size_t>{0});
+  auto b = std::make_shared<ScanNode>("t2", BaseSchema(), TruePredicate(),
+                                      std::vector<std::size_t>{0});
+  EXPECT_NE(a->Signature(), b->Signature());
+}
+
+TEST(JoinNodeTest, OutputSchemaConcatsBuildThenProbe) {
+  auto join = std::make_shared<JoinNode>(MakeDimScan(), MakeScan(), 0, 1);
+  EXPECT_EQ(join->output_schema().num_columns(), 5u);
+  EXPECT_EQ(join->output_schema().column(0).name, "dk");
+  EXPECT_EQ(join->output_schema().column(2).name, "k");
+}
+
+TEST(JoinNodeTest, SignatureCoversChildren) {
+  auto j1 = std::make_shared<JoinNode>(MakeDimScan(), MakeScan(5), 0, 1);
+  auto j2 = std::make_shared<JoinNode>(MakeDimScan(), MakeScan(5), 0, 1);
+  auto j3 = std::make_shared<JoinNode>(MakeDimScan(), MakeScan(7), 0, 1);
+  EXPECT_EQ(j1->Signature(), j2->Signature());
+  EXPECT_NE(j1->Signature(), j3->Signature());
+}
+
+TEST(AggregateNodeTest, OutputSchemaGroupsThenAggs) {
+  auto scan = MakeScan();
+  auto agg = std::make_shared<AggregateNode>(
+      scan, std::vector<std::size_t>{0},
+      std::vector<AggSpec>{
+          AggSpec::Sum(Col(2, ValueType::kDouble), "total"),
+          AggSpec::Count("n")});
+  EXPECT_EQ(agg->output_schema().num_columns(), 3u);
+  EXPECT_EQ(agg->output_schema().column(0).name, "k");
+  EXPECT_EQ(agg->output_schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ(agg->output_schema().column(2).type, ValueType::kInt64);
+}
+
+TEST(AggregateNodeTest, EmptyGroupByAllowed) {
+  auto agg = std::make_shared<AggregateNode>(
+      MakeScan(), std::vector<std::size_t>{},
+      std::vector<AggSpec>{AggSpec::Count("n")});
+  EXPECT_EQ(agg->output_schema().num_columns(), 1u);
+}
+
+TEST(AggregateNodeTest, SignatureSensitiveToAggFunc) {
+  auto mk = [&](AggSpec spec) {
+    return std::make_shared<AggregateNode>(
+        MakeScan(), std::vector<std::size_t>{0},
+        std::vector<AggSpec>{std::move(spec)});
+  };
+  auto sum = mk(AggSpec::Sum(Col(2, ValueType::kDouble), "x"));
+  auto avg = mk(AggSpec::Avg(Col(2, ValueType::kDouble), "x"));
+  EXPECT_NE(sum->Signature(), avg->Signature());
+}
+
+TEST(SortNodeTest, SchemaPassThrough) {
+  auto sort = std::make_shared<SortNode>(
+      MakeScan(), std::vector<SortKey>{{0, true}});
+  EXPECT_TRUE(sort->output_schema() == MakeScan()->output_schema());
+}
+
+TEST(SortNodeTest, SignatureSensitiveToDirection) {
+  auto asc = std::make_shared<SortNode>(MakeScan(),
+                                        std::vector<SortKey>{{0, true}});
+  auto desc = std::make_shared<SortNode>(MakeScan(),
+                                         std::vector<SortKey>{{0, false}});
+  EXPECT_NE(asc->Signature(), desc->Signature());
+}
+
+TEST(PlanTest, CanonicalIsHumanReadable) {
+  EXPECT_EQ(MakeScan()->Canonical(), "scan(base,(c0<5),proj[0,1,2])");
+}
+
+TEST(PlanTest, HashCanonicalIsFnv) {
+  // Spot-check the FNV-1a implementation against a known vector.
+  EXPECT_EQ(HashCanonical(""), 0xcbf29ce484222325ull);
+}
+
+}  // namespace
+}  // namespace sharing

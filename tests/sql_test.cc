@@ -1,0 +1,480 @@
+// SQL front-end tests: lexer, parser, binder, and end-to-end execution
+// against the reference executor and the sharing engine.
+
+#include <gtest/gtest.h>
+
+#include "core/sharing_engine.h"
+#include "exec/reference_executor.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "workload/ssb.h"
+
+namespace sharing {
+namespace {
+
+using sql::ParseSelect;
+using sql::SelectStatement;
+using sql::Token;
+using sql::TokenKind;
+using sql::Tokenize;
+using testing::ExpectResultsEquivalent;
+using testing::MakeTestDatabase;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+std::vector<TokenKind> KindsOf(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : tokens.value()) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(SqlLexerTest, KeywordsAreCaseInsensitive) {
+  auto kinds = KindsOf("SELECT select SeLeCt");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kSelect,
+                                           TokenKind::kSelect,
+                                           TokenKind::kSelect,
+                                           TokenKind::kEof}));
+}
+
+TEST(SqlLexerTest, IdentifiersFoldToLowerCase) {
+  auto tokens = Tokenize("Lineorder LO_Revenue").value();
+  EXPECT_EQ(tokens[0].text, "lineorder");
+  EXPECT_EQ(tokens[1].text, "lo_revenue");
+}
+
+TEST(SqlLexerTest, IntegerAndDoubleLiterals) {
+  auto tokens = Tokenize("42 3.5 1e3 2.5e-2").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+}
+
+TEST(SqlLexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Tokenize("'it''s'").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(SqlLexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("'oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(SqlLexerTest, OperatorsIncludingTwoCharForms) {
+  auto kinds = KindsOf("= <> != < <= > >= + - * / %");
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kNe,
+                TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                TokenKind::kGe, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kSlash, TokenKind::kPercent,
+                TokenKind::kEof}));
+}
+
+TEST(SqlLexerTest, LineCommentsAreSkipped) {
+  auto kinds = KindsOf("select -- the whole point\n42");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kSelect,
+                                           TokenKind::kIntLiteral,
+                                           TokenKind::kEof}));
+}
+
+TEST(SqlLexerTest, PositionsTrackLinesAndColumns) {
+  auto tokens = Tokenize("select\n  foo").value();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(SqlLexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("select @foo").ok());
+  EXPECT_FALSE(Tokenize("select #1").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+SelectStatement MustParse(const std::string& text) {
+  auto stmt = ParseSelect(text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return std::move(stmt).value();
+}
+
+TEST(SqlParserTest, SelectStarFromTable) {
+  auto stmt = MustParse("SELECT * FROM lineorder");
+  EXPECT_TRUE(stmt.select_star);
+  EXPECT_EQ(stmt.from.table, "lineorder");
+  EXPECT_EQ(stmt.from.alias, "lineorder");
+}
+
+TEST(SqlParserTest, TableAliasWithAndWithoutAs) {
+  EXPECT_EQ(MustParse("SELECT * FROM lineorder AS lo").from.alias, "lo");
+  EXPECT_EQ(MustParse("SELECT * FROM lineorder lo").from.alias, "lo");
+}
+
+TEST(SqlParserTest, SelectItemsWithAliases) {
+  auto stmt = MustParse("SELECT d_year, SUM(lo_revenue) AS revenue FROM t");
+  ASSERT_EQ(stmt.items.size(), 2u);
+  EXPECT_EQ(stmt.items[0].alias, "");
+  EXPECT_EQ(stmt.items[1].alias, "revenue");
+  EXPECT_EQ(stmt.items[1].expr->kind, sql::SqlExpr::Kind::kAggCall);
+}
+
+TEST(SqlParserTest, JoinChainWithOnConditions) {
+  auto stmt = MustParse(
+      "SELECT * FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+      "INNER JOIN customer ON lo_custkey = c_custkey");
+  ASSERT_EQ(stmt.joins.size(), 2u);
+  EXPECT_EQ(stmt.joins[0].table.table, "date");
+  EXPECT_EQ(stmt.joins[1].table.table, "customer");
+}
+
+TEST(SqlParserTest, WherePrecedenceOrBindsLooserThanAnd) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_NE(stmt.where, nullptr);
+  // OR at the root: (a=1) OR ((b=2) AND (c=3)).
+  EXPECT_EQ(stmt.where->kind, sql::SqlExpr::Kind::kOr);
+  EXPECT_EQ(stmt.where->children[1]->kind, sql::SqlExpr::Kind::kAnd);
+}
+
+TEST(SqlParserTest, ArithmeticPrecedence) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a + b * c = 7");
+  const auto& cmp = *stmt.where;
+  ASSERT_EQ(cmp.kind, sql::SqlExpr::Kind::kCompare);
+  const auto& lhs = *cmp.children[0];
+  ASSERT_EQ(lhs.kind, sql::SqlExpr::Kind::kArith);
+  EXPECT_EQ(lhs.arith_op, ArithOp::kAdd);
+  EXPECT_EQ(lhs.children[1]->arith_op, ArithOp::kMul);
+}
+
+TEST(SqlParserTest, BetweenLowersToThreeChildren) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a BETWEEN 1 AND 10");
+  ASSERT_EQ(stmt.where->kind, sql::SqlExpr::Kind::kBetween);
+  EXPECT_EQ(stmt.where->children.size(), 3u);
+}
+
+TEST(SqlParserTest, BetweenAndChainsWithConjunction) {
+  auto stmt =
+      MustParse("SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b = 2");
+  EXPECT_EQ(stmt.where->kind, sql::SqlExpr::Kind::kAnd);
+  EXPECT_EQ(stmt.where->children[0]->kind, sql::SqlExpr::Kind::kBetween);
+}
+
+TEST(SqlParserTest, DateLiteral) {
+  auto stmt = MustParse(
+      "SELECT * FROM t WHERE d <= DATE '1998-09-02'");
+  const auto& lit = *stmt.where->children[1];
+  ASSERT_EQ(lit.kind, sql::SqlExpr::Kind::kLiteral);
+  EXPECT_EQ(TypeOfValue(lit.literal), ValueType::kDate);
+  EXPECT_EQ(DateKey(std::get<Date>(lit.literal)), 19980902);
+}
+
+TEST(SqlParserTest, MalformedDateRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE d = DATE '19980902'").ok());
+  EXPECT_FALSE(
+      ParseSelect("SELECT * FROM t WHERE d = DATE '1998-13-01'").ok());
+}
+
+TEST(SqlParserTest, GroupByOrderByLimit) {
+  auto stmt = MustParse(
+      "SELECT d_year, SUM(lo_revenue) AS revenue FROM t "
+      "GROUP BY d_year ORDER BY revenue DESC, d_year LIMIT 5");
+  ASSERT_EQ(stmt.group_by.size(), 1u);
+  ASSERT_EQ(stmt.order_by.size(), 2u);
+  EXPECT_FALSE(stmt.order_by[0].ascending);
+  EXPECT_TRUE(stmt.order_by[1].ascending);
+  EXPECT_TRUE(stmt.has_limit);
+  EXPECT_EQ(stmt.limit, 5u);
+}
+
+TEST(SqlParserTest, CountStarOnlyForCount) {
+  EXPECT_TRUE(ParseSelect("SELECT COUNT(*) FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(SqlParserTest, NestedAggregatesRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT SUM(MIN(a)) FROM t").ok());
+}
+
+TEST(SqlParserTest, UnaryMinusLowersToSubtraction) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a = -5");
+  const auto& rhs = *stmt.where->children[1];
+  ASSERT_EQ(rhs.kind, sql::SqlExpr::Kind::kArith);
+  EXPECT_EQ(rhs.arith_op, ArithOp::kSub);
+}
+
+TEST(SqlParserTest, TrailingInputRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t garbage garbage").ok());
+  EXPECT_TRUE(ParseSelect("SELECT * FROM t;").ok());
+}
+
+TEST(SqlParserTest, ErrorsCarryPositions) {
+  auto stmt = ParseSelect("SELECT *\nFROM");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("2:5"), std::string::npos)
+      << stmt.status().ToString();
+}
+
+TEST(SqlParserTest, StatementRoundTripsThroughToString) {
+  auto stmt = MustParse(
+      "SELECT d_year, SUM(lo_revenue) AS revenue FROM lineorder "
+      "JOIN date ON lo_orderdate = d_datekey WHERE lo_discount BETWEEN 1 "
+      "AND 3 GROUP BY d_year ORDER BY d_year LIMIT 7");
+  // Re-parse the rendered form: it must parse to the same rendering.
+  auto again = MustParse(stmt.ToString());
+  EXPECT_EQ(stmt.ToString(), again.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Binder + end-to-end (against SSB data and the reference executor)
+// ---------------------------------------------------------------------------
+
+class SqlBindTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeTestDatabase().release();
+    SHARING_CHECK_OK(
+        ssb::GenerateAll(db_->catalog(), db_->buffer_pool(), 0.002, 7));
+  }
+
+  StatusOr<PlanNodeRef> Compile(const std::string& text) {
+    return sql::CompileSelect(*db_->catalog(), text);
+  }
+
+  ResultSet MustRun(const std::string& text) {
+    auto plan = Compile(text);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    ReferenceExecutor ref(db_->catalog());
+    auto result = ref.Execute(*plan.value());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  static Database* db_;
+};
+
+Database* SqlBindTest::db_ = nullptr;
+
+TEST_F(SqlBindTest, SelectStarSingleTable) {
+  auto result = MustRun("SELECT * FROM supplier");
+  auto* supplier = db_->catalog()->GetTable("supplier").value();
+  EXPECT_EQ(result.num_rows(), supplier->num_rows());
+  EXPECT_EQ(result.schema().num_columns(),
+            supplier->schema().num_columns());
+}
+
+TEST_F(SqlBindTest, ProjectionFollowsSelectOrder) {
+  auto result = MustRun("SELECT s_nation, s_suppkey FROM supplier");
+  EXPECT_EQ(result.schema().column(0).name, "s_nation");
+  EXPECT_EQ(result.schema().column(1).name, "s_suppkey");
+}
+
+TEST_F(SqlBindTest, WherePushdownFilters) {
+  auto result = MustRun("SELECT s_suppkey FROM supplier WHERE s_suppkey < 5");
+  EXPECT_EQ(result.num_rows(), 4u);  // keys are 1-based: 1..4
+}
+
+TEST_F(SqlBindTest, WhereWithStringEquality) {
+  auto all = MustRun("SELECT s_nation FROM supplier");
+  ASSERT_GT(all.num_rows(), 0u);
+  std::string nation(all.Row(0).GetString(0));
+  // Trim the fixed-width padding.
+  nation.erase(nation.find_last_not_of(' ') + 1);
+  auto filtered = MustRun("SELECT s_nation FROM supplier WHERE s_nation = '" +
+                          nation + "'");
+  EXPECT_GT(filtered.num_rows(), 0u);
+  EXPECT_LT(filtered.num_rows(), all.num_rows());
+}
+
+TEST_F(SqlBindTest, AggregateWithGroupBy) {
+  auto result = MustRun(
+      "SELECT d_year, COUNT(*) AS n FROM date GROUP BY d_year "
+      "ORDER BY d_year");
+  EXPECT_EQ(result.num_rows(), 7u);  // SSB date: 1992..1998
+  EXPECT_EQ(result.schema().column(1).name, "n");
+  // Years ascend; day counts sum to the full dimension (the last year is
+  // truncated to make SSB's fixed 2,556-row date table).
+  int64_t total_days = 0;
+  for (std::size_t i = 0; i < result.num_rows(); ++i) {
+    EXPECT_EQ(result.Row(i).GetInt64(0), 1992 + static_cast<int64_t>(i));
+    int64_t days = result.Row(i).GetInt64(1);
+    EXPECT_GE(days, 364);
+    EXPECT_LE(days, 366);
+    total_days += days;
+  }
+  EXPECT_EQ(total_days, 2556);
+}
+
+TEST_F(SqlBindTest, StarJoinWithAggregateMatchesHandBuiltPlan) {
+  const std::string text =
+      "SELECT d_year, SUM(lo_revenue) AS revenue "
+      "FROM lineorder "
+      "JOIN customer ON lo_custkey = c_custkey "
+      "JOIN date ON lo_orderdate = d_datekey "
+      "WHERE c_custkey % 1000 < 10 "
+      "GROUP BY d_year";
+  auto result = MustRun(text);
+  EXPECT_GT(result.num_rows(), 0u);
+  EXPECT_EQ(result.schema().column(0).name, "d_year");
+  EXPECT_EQ(result.schema().column(1).name, "revenue");
+}
+
+TEST_F(SqlBindTest, TpchQ6ShapeRuns) {
+  // TPC-H Q6 over the SSB lineorder columns (same analytics shape).
+  auto result = MustRun(
+      "SELECT SUM(lo_revenue) AS revenue FROM lineorder "
+      "WHERE lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25");
+  EXPECT_EQ(result.num_rows(), 1u);
+}
+
+TEST_F(SqlBindTest, OrderByDescWithLimitIsTopK) {
+  auto result = MustRun(
+      "SELECT d_datekey, COUNT(*) AS n FROM date GROUP BY d_datekey "
+      "ORDER BY d_datekey DESC LIMIT 3");
+  ASSERT_EQ(result.num_rows(), 3u);
+  EXPECT_GT(result.Row(0).GetInt64(0), result.Row(1).GetInt64(0));
+  EXPECT_GT(result.Row(1).GetInt64(0), result.Row(2).GetInt64(0));
+}
+
+TEST_F(SqlBindTest, QualifiedAndAliasedColumns) {
+  auto result = MustRun(
+      "SELECT s.s_suppkey FROM supplier s WHERE s.s_suppkey = 3");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.Row(0).GetInt64(0), 3);
+}
+
+TEST_F(SqlBindTest, UnknownTableFails) {
+  auto plan = Compile("SELECT * FROM nonexistent");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("unknown table"),
+            std::string::npos);
+}
+
+TEST_F(SqlBindTest, UnknownColumnFails) {
+  auto plan = Compile("SELECT bogus FROM supplier");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("unknown column"),
+            std::string::npos);
+}
+
+TEST_F(SqlBindTest, AmbiguousColumnRequiresQualifier) {
+  // lo_custkey exists once; but a self-join-style duplicate via aliases of
+  // the same table makes every column ambiguous.
+  auto plan = Compile(
+      "SELECT * FROM supplier a JOIN supplier b ON s_suppkey = s_suppkey");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(SqlBindTest, CrossTablePredicateReportsUnsupported) {
+  auto plan = Compile(
+      "SELECT * FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+      "WHERE lo_custkey < d_year");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(SqlBindTest, NonEquiJoinReportsUnsupported) {
+  auto plan = Compile(
+      "SELECT * FROM lineorder JOIN date ON lo_orderdate < d_datekey");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(SqlBindTest, LimitWithoutOrderByReportsUnsupported) {
+  auto plan = Compile("SELECT * FROM supplier LIMIT 3");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(SqlBindTest, GroupColumnsMustPrecedeAggregates) {
+  auto plan = Compile(
+      "SELECT SUM(lo_revenue), d_year FROM lineorder "
+      "JOIN date ON lo_orderdate = d_datekey GROUP BY d_year");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(SqlBindTest, DuplicateAggregateNamesAreDisambiguated) {
+  auto result = MustRun(
+      "SELECT SUM(lo_revenue), SUM(lo_revenue) FROM lineorder");
+  EXPECT_EQ(result.schema().column(0).name, "sum_lo_revenue");
+  EXPECT_EQ(result.schema().column(1).name, "sum_lo_revenue_2");
+}
+
+TEST_F(SqlBindTest, CompiledPlanSignaturesDetectSharedSubPlans) {
+  const std::string q =
+      "SELECT d_year, SUM(lo_revenue) AS revenue FROM lineorder "
+      "JOIN date ON lo_orderdate = d_datekey GROUP BY d_year";
+  auto a = Compile(q);
+  auto b = Compile(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value()->Signature(), b.value()->Signature());
+  // A different predicate changes the signature.
+  auto c = Compile(
+      "SELECT d_year, SUM(lo_revenue) AS revenue FROM lineorder "
+      "JOIN date ON lo_orderdate = d_datekey WHERE lo_quantity < 10 "
+      "GROUP BY d_year");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value()->Signature(), c.value()->Signature());
+}
+
+// End-to-end: the same SQL through every engine mode must match the
+// reference executor (the sharing-is-transparent invariant, via SQL).
+class SqlEngineTest : public ::testing::TestWithParam<EngineMode> {};
+
+TEST_P(SqlEngineTest, SqlStarQueryMatchesReferenceAcrossModes) {
+  auto db = MakeTestDatabase();
+  SHARING_CHECK_OK(
+      ssb::GenerateAll(db->catalog(), db->buffer_pool(), 0.002, 7));
+  EngineConfig config;
+  config.mode = GetParam();
+  config.fact_table = "lineorder";
+  config.cjoin_levels = ssb::PipelineLevels();
+  SharingEngine engine(db.get(), config);
+
+  auto plan = sql::CompileSelect(
+      *db->catalog(),
+      "SELECT d_year, SUM(lo_revenue) AS revenue FROM lineorder "
+      "JOIN customer ON lo_custkey = c_custkey "
+      "JOIN date ON lo_orderdate = d_datekey "
+      "WHERE c_custkey % 1000 < 50 GROUP BY d_year");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  ReferenceExecutor ref(db->catalog());
+  auto want = ref.Execute(*plan.value());
+  ASSERT_TRUE(want.ok());
+  auto got = engine.Execute(plan.value());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectResultsEquivalent(want.value(), got.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SqlEngineTest,
+    ::testing::Values(EngineMode::kQueryCentric, EngineMode::kSpPush,
+                      EngineMode::kSpPull, EngineMode::kGqp,
+                      EngineMode::kGqpSp),
+    [](const auto& info) {
+      std::string name(EngineModeToString(info.param));
+      for (auto& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sharing

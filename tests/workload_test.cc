@@ -1,0 +1,356 @@
+// Tests for the workload module: TPC-H/SSB generators, query templates,
+// and the closed-loop client driver.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stopwatch.h"
+#include "exec/reference_executor.h"
+#include "test_util.h"
+#include "workload/driver.h"
+#include "workload/ssb.h"
+#include "workload/tpch.h"
+
+namespace sharing {
+namespace {
+
+using testing::MakeTestDatabase;
+
+// ---------------------------------------------------------------------------
+// TPC-H generator
+// ---------------------------------------------------------------------------
+
+class TpchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDatabase();
+    auto t = tpch::GenerateLineitem(db_->catalog(), db_->buffer_pool(),
+                                    0.001, 42);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    table_ = t.value();
+  }
+  std::unique_ptr<Database> db_;
+  Table* table_;
+};
+
+TEST_F(TpchTest, RowCountMatchesScaleFactor) {
+  EXPECT_EQ(table_->num_rows(), 6000u);  // 6M * 0.001
+}
+
+TEST_F(TpchTest, GeneratedValuesInDomain) {
+  const Schema& s = table_->schema();
+  std::size_t qty = s.ColumnIndex("l_quantity").value();
+  std::size_t disc = s.ColumnIndex("l_discount").value();
+  std::size_t rf = s.ColumnIndex("l_returnflag").value();
+  std::size_t ship = s.ColumnIndex("l_shipdate").value();
+  Date lo = MakeDate(1992, 1, 1), hi = MakeDate(1998, 12, 1);
+  for (std::size_t p = 0; p < table_->num_pages(); ++p) {
+    auto g = db_->buffer_pool()->FetchPage(table_->page_id(p));
+    ASSERT_TRUE(g.ok());
+    const uint8_t* frame = g.value().data();
+    for (uint32_t i = 0; i < page_layout::RowCount(frame); ++i) {
+      TupleRef row(page_layout::RowAt(frame, i), &s);
+      EXPECT_GE(row.GetDouble(qty), 1.0);
+      EXPECT_LE(row.GetDouble(qty), 50.0);
+      EXPECT_GE(row.GetDouble(disc), 0.0);
+      EXPECT_LE(row.GetDouble(disc), 0.10 + 1e-9);
+      std::string_view flag = row.GetString(rf);
+      EXPECT_TRUE(flag == "R" || flag == "A" || flag == "N");
+      EXPECT_GE(row.GetDate(ship), lo);
+      EXPECT_LE(row.GetDate(ship), hi);
+    }
+  }
+}
+
+TEST_F(TpchTest, GenerationDeterministicPerSeed) {
+  auto db2 = MakeTestDatabase();
+  auto t2 = tpch::GenerateLineitem(db2->catalog(), db2->buffer_pool(),
+                                   0.001, 42);
+  ASSERT_TRUE(t2.ok());
+  // Compare an aggregate fingerprint of both tables.
+  ReferenceExecutor ref1(db_->catalog()), ref2(db2->catalog());
+  auto plan = tpch::MakeQ1Plan(90);
+  auto r1 = ref1.Execute(*plan);
+  auto r2 = ref2.Execute(*plan);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().CanonicalRows(), r2.value().CanonicalRows());
+}
+
+TEST_F(TpchTest, Q1HasExpectedGroups) {
+  ReferenceExecutor ref(db_->catalog());
+  auto r = ref.Execute(*tpch::MakeQ1Plan(90));
+  ASSERT_TRUE(r.ok());
+  // Q1 groups by (returnflag, linestatus): R/A pair with F, N with O/F.
+  EXPECT_GE(r.value().num_rows(), 3u);
+  EXPECT_LE(r.value().num_rows(), 6u);
+  std::set<std::string> groups;
+  for (std::size_t i = 0; i < r.value().num_rows(); ++i) {
+    auto row = r.value().Row(i);
+    groups.insert(std::string(row.GetString(0)) +
+                  std::string(row.GetString(1)));
+    // count_order is the last column and must be positive.
+    EXPECT_GT(row.GetInt64(r.value().schema().num_columns() - 1), 0);
+  }
+  EXPECT_EQ(groups.size(), r.value().num_rows());
+}
+
+TEST_F(TpchTest, Q1DeltaAffectsSelectivity) {
+  ReferenceExecutor ref(db_->catalog());
+  auto narrow = ref.Execute(*tpch::MakeQ1Plan(/*delta_days=*/2400));
+  auto wide = ref.Execute(*tpch::MakeQ1Plan(/*delta_days=*/0));
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  auto count_of = [](const ResultSet& r) {
+    int64_t total = 0;
+    for (std::size_t i = 0; i < r.num_rows(); ++i) {
+      total += r.Row(i).GetInt64(r.schema().num_columns() - 1);
+    }
+    return total;
+  };
+  EXPECT_LT(count_of(narrow.value()), count_of(wide.value()));
+}
+
+// ---------------------------------------------------------------------------
+// SSB generator
+// ---------------------------------------------------------------------------
+
+class SsbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeTestDatabase().release();
+    SHARING_CHECK_OK(
+        ssb::GenerateAll(db_->catalog(), db_->buffer_pool(), 0.002, 11));
+  }
+  static Database* db_;
+};
+
+Database* SsbTest::db_ = nullptr;
+
+TEST_F(SsbTest, AllTablesCreated) {
+  for (const char* name :
+       {"lineorder", "date", "customer", "supplier", "part"}) {
+    EXPECT_TRUE(db_->catalog()->GetTable(name).ok()) << name;
+  }
+}
+
+TEST_F(SsbTest, DateDimensionHas2556Days) {
+  Table* date = db_->catalog()->GetTable("date").value();
+  EXPECT_EQ(date->num_rows(), 2556u);
+}
+
+TEST_F(SsbTest, SizesScaleWithSf) {
+  auto sizes = ssb::SizesFor(0.002);
+  EXPECT_EQ(db_->catalog()->GetTable("lineorder").value()->num_rows(),
+            static_cast<uint64_t>(sizes.lineorder));
+  EXPECT_EQ(db_->catalog()->GetTable("customer").value()->num_rows(),
+            static_cast<uint64_t>(sizes.customer));
+}
+
+TEST_F(SsbTest, ForeignKeysResolve) {
+  // Every lo_custkey/lo_suppkey/lo_partkey/lo_orderdate must reference an
+  // existing dimension key (referential integrity of the generator).
+  Table* lo = db_->catalog()->GetTable("lineorder").value();
+  auto sizes = ssb::SizesFor(0.002);
+  const Schema& s = lo->schema();
+  std::size_t ck = s.ColumnIndex("lo_custkey").value();
+  std::size_t sk = s.ColumnIndex("lo_suppkey").value();
+  std::size_t pk = s.ColumnIndex("lo_partkey").value();
+  std::size_t dk = s.ColumnIndex("lo_orderdate").value();
+  for (std::size_t p = 0; p < lo->num_pages(); ++p) {
+    auto g = db_->buffer_pool()->FetchPage(lo->page_id(p));
+    ASSERT_TRUE(g.ok());
+    const uint8_t* frame = g.value().data();
+    for (uint32_t i = 0; i < page_layout::RowCount(frame); ++i) {
+      TupleRef row(page_layout::RowAt(frame, i), &s);
+      ASSERT_GE(row.GetInt64(ck), 1);
+      ASSERT_LE(row.GetInt64(ck), sizes.customer);
+      ASSERT_GE(row.GetInt64(sk), 1);
+      ASSERT_LE(row.GetInt64(sk), sizes.supplier);
+      ASSERT_GE(row.GetInt64(pk), 1);
+      ASSERT_LE(row.GetInt64(pk), sizes.part);
+      int64_t datekey = row.GetInt64(dk);
+      ASSERT_GE(datekey, 19920101);
+      ASSERT_LE(datekey, 19981231);
+    }
+  }
+}
+
+TEST_F(SsbTest, CitiesDeriveFromNations) {
+  Table* cust = db_->catalog()->GetTable("customer").value();
+  const Schema& s = cust->schema();
+  std::size_t city = s.ColumnIndex("c_city").value();
+  std::size_t nation = s.ColumnIndex("c_nation").value();
+  auto g = db_->buffer_pool()->FetchPage(cust->page_id(0));
+  ASSERT_TRUE(g.ok());
+  const uint8_t* frame = g.value().data();
+  for (uint32_t i = 0; i < std::min<uint32_t>(50, page_layout::RowCount(frame));
+       ++i) {
+    TupleRef row(page_layout::RowAt(frame, i), &s);
+    std::string_view c = row.GetString(city);
+    std::string_view n = row.GetString(nation);
+    // City prefix = first 9 chars of the (space-padded) nation.
+    std::string n9(n.substr(0, 9));
+    n9.resize(9, ' ');
+    EXPECT_EQ(c.substr(0, 9), std::string_view(n9).substr(0, c.size() > 9 ? 9 : c.size()))
+        << c << " vs " << n;
+  }
+}
+
+TEST_F(SsbTest, All13QueriesExecuteNonTrivially) {
+  ReferenceExecutor ref(db_->catalog());
+  int non_empty = 0;
+  for (int flight = 1; flight <= 4; ++flight) {
+    int max_variant = flight == 3 ? 4 : 3;
+    for (int variant = 1; variant <= max_variant; ++variant) {
+      auto plan = ssb::MakeQuery(flight, variant);
+      ASSERT_TRUE(plan.ok());
+      auto r = ref.Execute(*plan.value());
+      ASSERT_TRUE(r.ok()) << "Q" << flight << "." << variant;
+      if (r.value().num_rows() > 0) ++non_empty;
+    }
+  }
+  // At tiny scale some highly selective variants may come up empty, but
+  // the bulk of the suite must produce rows.
+  EXPECT_GE(non_empty, 8);
+}
+
+TEST_F(SsbTest, InvalidQueryIdsRejected) {
+  EXPECT_FALSE(ssb::MakeQuery(0, 1).ok());
+  EXPECT_FALSE(ssb::MakeQuery(5, 1).ok());
+  EXPECT_FALSE(ssb::MakeQuery(1, 4).ok());
+  EXPECT_FALSE(ssb::MakeQuery(3, 5).ok());
+}
+
+TEST_F(SsbTest, ParameterizedPlanSelectivityControlsOutput) {
+  ReferenceExecutor ref(db_->catalog());
+  auto lo_sel = ref.Execute(*ssb::ParameterizedStarPlan(
+      {.selectivity = 0.01, .num_variants = 1, .variant = 0}));
+  auto hi_sel = ref.Execute(*ssb::ParameterizedStarPlan(
+      {.selectivity = 0.50, .num_variants = 1, .variant = 0}));
+  ASSERT_TRUE(lo_sel.ok());
+  ASSERT_TRUE(hi_sel.ok());
+  auto revenue_of = [](const ResultSet& r) {
+    double total = 0;
+    for (std::size_t i = 0; i < r.num_rows(); ++i) {
+      total += r.Row(i).GetDouble(1);
+    }
+    return total;
+  };
+  EXPECT_LT(revenue_of(lo_sel.value()), revenue_of(hi_sel.value()));
+}
+
+TEST_F(SsbTest, VariantsProduceDistinctPlansSameShape) {
+  auto p0 = ssb::ParameterizedStarPlan(
+      {.selectivity = 0.05, .num_variants = 8, .variant = 0});
+  auto p1 = ssb::ParameterizedStarPlan(
+      {.selectivity = 0.05, .num_variants = 8, .variant = 1});
+  auto p0_again = ssb::ParameterizedStarPlan(
+      {.selectivity = 0.05, .num_variants = 8, .variant = 0});
+  EXPECT_NE(p0->Signature(), p1->Signature());
+  EXPECT_EQ(p0->Signature(), p0_again->Signature());
+  EXPECT_TRUE(p0->output_schema() == p1->output_schema());
+}
+
+TEST_F(SsbTest, VariantsWrapAroundNumVariants) {
+  auto p0 = ssb::ParameterizedStarPlan(
+      {.selectivity = 0.05, .num_variants = 4, .variant = 0});
+  auto p4 = ssb::ParameterizedStarPlan(
+      {.selectivity = 0.05, .num_variants = 4, .variant = 4});
+  EXPECT_EQ(p0->Signature(), p4->Signature());
+}
+
+TEST_F(SsbTest, PipelineLevelsCoverAllDims) {
+  auto levels = ssb::PipelineLevels();
+  ASSERT_EQ(levels.size(), 4u);
+  std::set<std::string> tables;
+  for (const auto& l : levels) tables.insert(l.dim_table);
+  EXPECT_EQ(tables,
+            (std::set<std::string>{"date", "customer", "supplier", "part"}));
+}
+
+// ---------------------------------------------------------------------------
+// Client driver
+// ---------------------------------------------------------------------------
+
+TEST(DriverTest, CompletesQueriesWithinWindow) {
+  std::atomic<int> executed{0};
+  DriverOptions options;
+  options.num_clients = 3;
+  options.duration_seconds = 0.3;
+  auto report = RunClosedLoop(
+      options,
+      [](std::size_t, uint64_t) {
+        return ssb::ParameterizedStarPlan({.selectivity = 0.01});
+      },
+      [&](const PlanNodeRef&) {
+        executed.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return Status::OK();
+      });
+  EXPECT_EQ(report.completed, executed.load());
+  EXPECT_GT(report.completed, 0);
+  EXPECT_GT(report.throughput_qps, 0);
+  EXPECT_GT(report.mean_response_ms, 0);
+  EXPECT_EQ(report.failed, 0);
+}
+
+TEST(DriverTest, FailuresCounted) {
+  DriverOptions options;
+  options.num_clients = 2;
+  options.duration_seconds = 0.1;
+  auto report = RunClosedLoop(
+      options,
+      [](std::size_t, uint64_t) {
+        return ssb::ParameterizedStarPlan({.selectivity = 0.01});
+      },
+      [](const PlanNodeRef&) { return Status::Internal("boom"); });
+  EXPECT_EQ(report.completed, 0);
+  EXPECT_GT(report.failed, 0);
+}
+
+TEST(DriverTest, MaxQueriesCapRespected) {
+  DriverOptions options;
+  options.num_clients = 4;
+  options.duration_seconds = 10.0;  // the cap must end the run early
+  options.max_queries = 20;
+  Stopwatch timer;
+  auto report = RunClosedLoop(
+      options,
+      [](std::size_t, uint64_t) {
+        return ssb::ParameterizedStarPlan({.selectivity = 0.01});
+      },
+      [](const PlanNodeRef&) { return Status::OK(); });
+  EXPECT_GE(report.completed, 20);
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+}
+
+TEST(DriverTest, BatchedModeRunsInWaves) {
+  DriverOptions options;
+  options.num_clients = 4;
+  options.duration_seconds = 0.5;
+  options.batched = true;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  auto report = RunClosedLoop(
+      options,
+      [](std::size_t, uint64_t) {
+        return ssb::ParameterizedStarPlan({.selectivity = 0.01});
+      },
+      [&](const PlanNodeRef&) {
+        int now = in_flight.fetch_add(1) + 1;
+        int old = max_in_flight.load();
+        while (now > old && !max_in_flight.compare_exchange_weak(old, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        in_flight.fetch_sub(1);
+        return Status::OK();
+      });
+  EXPECT_GT(report.completed, 0);
+  // Waves overlap all four clients.
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+}  // namespace
+}  // namespace sharing
