@@ -1,7 +1,7 @@
 // Ablation E: FIFO capacity vs the push-SP convoy.
 //
 // DESIGN.md calls out the FIFO page buffer's bounded capacity as the
-// mechanism behind push-SP's serialization: the host's TeeSink blocks on
+// mechanism behind push-SP's serialization: the host's push channel blocks on
 // the *slowest* satellite's full buffer, convoying everyone. Deeper
 // buffers relax the convoy (at memory cost) but never remove the N deep
 // copies per page; the Shared Pages List removes both. This bench fixes

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite from a
+# clean tree, then repeat under AddressSanitizer. Usage:
+#   ci/verify.sh          # tier-1 + ASan
+#   ci/verify.sh --fast   # tier-1 only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+echo "=== tier-1: release build + ctest ==="
+run_suite build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "=== tier-1 under AddressSanitizer ==="
+  run_suite build-asan -DSHARING_ASAN=ON
+fi
+
+echo "verify: OK"

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   // 4. Execute under every mode; sharing never changes results.
   for (EngineMode mode :
        {EngineMode::kQueryCentric, EngineMode::kSpPush, EngineMode::kSpPull,
-        EngineMode::kGqp, EngineMode::kGqpSp}) {
+        EngineMode::kSpAdaptive, EngineMode::kGqp, EngineMode::kGqpSp}) {
     engine.SetMode(mode);
     Stopwatch timer;
     auto result = engine.Execute(plan);
@@ -70,6 +70,6 @@ int main(int argc, char** argv) {
                 result.value().num_rows(), timer.ElapsedSeconds() * 1e3);
     std::printf("%s", result.value().ToString(5).c_str());
   }
-  std::printf("\nAll five modes returned the same result set.\n");
+  std::printf("\nAll six modes returned the same result set.\n");
   return 0;
 }

@@ -40,7 +40,7 @@ namespace {
 bool ParseMode(const std::string& name, EngineMode* mode) {
   for (EngineMode m :
        {EngineMode::kQueryCentric, EngineMode::kSpPush, EngineMode::kSpPull,
-        EngineMode::kGqp, EngineMode::kGqpSp}) {
+        EngineMode::kSpAdaptive, EngineMode::kGqp, EngineMode::kGqpSp}) {
     if (name == EngineModeToString(m)) {
       *mode = m;
       return true;
@@ -92,7 +92,7 @@ void RunMeta(SharingEngine* engine, const std::string& line) {
   if (command == "\\help") {
     std::printf(
         "\\mode [name]   show/switch mode (query-centric|sp-push|sp-pull|"
-        "gqp|gqp+sp)\n"
+        "sp-adaptive|gqp|gqp+sp)\n"
         "\\tables        list tables\n"
         "\\schema NAME   table schema\n"
         "\\stats         engine counters\n"

@@ -66,11 +66,24 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap[name] = counter->Get();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap[name] = gauge->Get();
+    snap[name + ".hwm"] = gauge->HighWaterMark();
   }
   return snap;
 }

@@ -73,6 +73,35 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
 };
 
+/// A bidirectional instantaneous value (e.g. pages currently retained by a
+/// sharing channel) that also tracks its high-water mark. Thread-safe,
+/// relaxed ordering like Counter.
+class Gauge {
+ public:
+  Gauge() = default;
+  SHARING_DISALLOW_COPY_AND_MOVE(Gauge);
+
+  void Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t hwm = high_water_.load(std::memory_order_relaxed);
+    while (now > hwm &&
+           !high_water_.compare_exchange_weak(hwm, now,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(int64_t delta) { Add(-delta); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Largest value ever observed (never reset; scope with snapshots).
+  int64_t HighWaterMark() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> high_water_{0};
+};
+
 /// A point-in-time copy of all counters in a registry.
 using MetricsSnapshot = std::map<std::string, int64_t>;
 
@@ -90,6 +119,12 @@ class MetricsRegistry {
   /// use. Pointers are stable for the registry's lifetime.
   Histogram* GetHistogram(const std::string& name);
 
+  /// Returns the gauge registered under `name`, creating it on first use.
+  /// Pointers are stable for the registry's lifetime.
+  Gauge* GetGauge(const std::string& name);
+
+  /// Includes every counter under its name and every gauge under both
+  /// `name` (current value) and `name + ".hwm"` (high-water mark).
   MetricsSnapshot Snapshot() const;
 
   /// Returns per-counter deltas `after - before` (counters absent from
@@ -105,6 +140,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 // Canonical metric names used across modules, so benchmarks and tests can
@@ -121,6 +157,8 @@ inline constexpr const char* kSpOpportunities = "sp.opportunities";
 inline constexpr const char* kSpPagesCopied = "sp.pages_copied";
 inline constexpr const char* kSpPagesShared = "sp.pages_shared";
 inline constexpr const char* kSpBytesCopied = "sp.bytes_copied";
+inline constexpr const char* kSpPagesRetained = "sp.pages_retained";  // gauge
+inline constexpr const char* kSpPagesReclaimed = "sp.pages_reclaimed";
 inline constexpr const char* kCjoinFactTuplesIn = "cjoin.fact_tuples_in";
 inline constexpr const char* kCjoinTuplesOut = "cjoin.tuples_out";
 inline constexpr const char* kCjoinTuplesDropped = "cjoin.tuples_dropped";

@@ -12,6 +12,8 @@ std::string_view EngineModeToString(EngineMode mode) {
       return "sp-push";
     case EngineMode::kSpPull:
       return "sp-pull";
+    case EngineMode::kSpAdaptive:
+      return "sp-adaptive";
     case EngineMode::kGqp:
       return "gqp";
     case EngineMode::kGqpSp:
@@ -27,6 +29,7 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.stage_workers = config_.stage_workers;
   qopts.stage_max_workers = config_.stage_max_workers;
   qopts.fifo_capacity = config_.fifo_capacity;
+  qopts.adaptive = config_.adaptive;
   qpipe_ = std::make_unique<QPipeEngine>(db_->catalog(), qopts,
                                          db_->metrics());
 
@@ -62,6 +65,9 @@ void SharingEngine::SetMode(EngineMode mode) {
       break;
     case EngineMode::kSpPush:
       qpipe_->SetSpModeAllStages(SpMode::kPush);
+      break;
+    case EngineMode::kSpAdaptive:
+      qpipe_->SetSpModeAllStages(SpMode::kAdaptive);
       break;
     case EngineMode::kSpPull:
     case EngineMode::kGqp:

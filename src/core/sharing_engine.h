@@ -26,6 +26,9 @@ enum class EngineMode {
   kQueryCentric,
   kSpPush,
   kSpPull,
+  /// Adaptive SP: every QPipe stage picks off/push/pull per packet from
+  /// live stage statistics (see AdaptiveSpPolicy).
+  kSpAdaptive,
   kGqp,
   kGqpSp,
 };
@@ -46,6 +49,10 @@ struct EngineConfig {
   bool shared_scans = true;
 
   std::size_t fifo_capacity = 8;
+
+  /// Thresholds for the adaptive SP admission policy (kSpAdaptive mode,
+  /// or any stage later switched to SpMode::kAdaptive).
+  AdaptiveSpPolicy adaptive;
 
   /// CJOIN configuration; the pipeline is built iff `fact_table` is
   /// non-empty (GQP modes require it).

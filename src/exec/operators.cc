@@ -178,6 +178,10 @@ Status RunHashJoin(const JoinNode& node, PageSource* build, PageSource* probe,
   }
   if (!build->FinalStatus().ok()) {
     Status st = build->FinalStatus();
+    // The probe source was never drained: cancel it, or its producer
+    // eventually blocks on a full buffer no one will ever empty (and, in
+    // push-SP, starves every other consumer of that sharing session).
+    probe->CancelConsumer();
     sink->Close(st);
     return st;
   }

@@ -28,6 +28,13 @@ class PageSource {
   /// Consumer-side abandonment: tells the producer this consumer will
   /// never read again, so it may stop early. Default: no-op.
   virtual void CancelConsumer() {}
+
+  /// Reader-position contract: the number of pages this source has handed
+  /// out via Next() so far. Sharing channels compare reader positions
+  /// against pages produced to compute consumer lag (adaptive SP
+  /// admission) and to reclaim pages every reader has passed (bounded
+  /// pull-SP memory). Sources that cannot track a position return 0.
+  virtual std::size_t PagesDelivered() const { return 0; }
 };
 
 class PageSink {

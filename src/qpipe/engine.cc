@@ -28,6 +28,7 @@ QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
   base.initial_workers = options_.stage_workers;
   base.max_workers = options_.stage_max_workers;
   base.fifo_capacity = options_.fifo_capacity;
+  base.adaptive = options_.adaptive;
 
   Stage::Options o = base;
   o.sp_mode = options_.scan_sp;

@@ -41,6 +41,10 @@ struct QPipeOptions {
   /// FIFO capacity in pages.
   std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
 
+  /// Thresholds for SpMode::kAdaptive (per-packet off/push/pull choice),
+  /// applied to every stage running in adaptive mode.
+  AdaptiveSpPolicy adaptive;
+
   /// Applies `mode` to all four stages.
   static QPipeOptions AllSp(SpMode mode) {
     QPipeOptions o;

@@ -60,9 +60,15 @@ class FifoBuffer final : public PageSource, public PageSink {
     if (queue_.empty()) return nullptr;
     PageRef page = std::move(queue_.front());
     queue_.pop_front();
+    ++delivered_;
     lock.unlock();
     not_full_.notify_one();
     return page;
+  }
+
+  std::size_t PagesDelivered() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delivered_;
   }
 
   Status FinalStatus() const override {
@@ -100,6 +106,7 @@ class FifoBuffer final : public PageSource, public PageSink {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<PageRef> queue_;
+  std::size_t delivered_ = 0;
   bool closed_ = false;
   bool reader_cancelled_ = false;
   Status final_;

@@ -1,20 +1,32 @@
 #include "qpipe/shared_pages_list.h"
 
+#include <algorithm>
+
+#include "common/logging.h"
+
 namespace sharing {
 
-bool SharedPagesList::Append(PageRef page) {
+SharedPagesList::~SharedPagesList() {
+  // Whatever survived reclamation is released now; keep the gauge honest.
+  pages_retained_->Sub(static_cast<int64_t>(pages_.size()));
+}
+
+std::size_t SharedPagesList::Append(PageRef page) {
+  std::size_t total;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return false;
-    if (ever_attached_ > 0 && active_readers_ == 0) {
-      // Everyone who was interested has walked away.
-      return false;
+    if (closed_) return 0;
+    if (readers_.empty() && (ever_attached_ > 0 || sealed_)) {
+      // Everyone who was (or could ever be) interested has walked away.
+      return 0;
     }
     pages_.push_back(std::move(page));
+    total = base_ + pages_.size();
     pages_shared_->Increment();
+    pages_retained_->Add(1);
   }
   cv_.notify_all();
-  return true;
+  return total;
 }
 
 void SharedPagesList::Close(Status final) {
@@ -23,25 +35,87 @@ void SharedPagesList::Close(Status final) {
     if (closed_) return;
     closed_ = true;
     final_ = std::move(final);
+    MaybeReclaimLocked();
+  }
+  cv_.notify_all();
+}
+
+void SharedPagesList::SealAttachWindow() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sealed_) return;
+    sealed_ = true;
+    MaybeReclaimLocked();
   }
   cv_.notify_all();
 }
 
 std::shared_ptr<SplReader> SharedPagesList::AttachReader() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (sealed_) return nullptr;
   if (closed_ && !final_.ok()) return nullptr;
-  ++active_readers_;
+  auto reader = std::shared_ptr<SplReader>(new SplReader(shared_from_this()));
+  readers_.push_back(reader.get());
   ++ever_attached_;
-  return std::shared_ptr<SplReader>(new SplReader(shared_from_this()));
+  return reader;
+}
+
+std::size_t SharedPagesList::MinReaderPosition() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MinReaderPositionLocked();
+}
+
+SharedPagesList::Snapshot SharedPagesList::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.ever_attached = ever_attached_;
+  snap.active_readers = readers_.size();
+  snap.total_appended = base_ + pages_.size();
+  snap.min_reader_position = MinReaderPositionLocked();
+  snap.closed = closed_;
+  return snap;
+}
+
+std::size_t SharedPagesList::MinReaderPositionLocked() const {
+  std::size_t min_pos = base_ + pages_.size();
+  for (const SplReader* reader : readers_) {
+    min_pos = std::min(min_pos, reader->cursor_);
+  }
+  return min_pos;
+}
+
+void SharedPagesList::MaybeReclaimLocked() {
+  if (!sealed_) return;  // a late attacher could still need the history
+  const std::size_t min_pos = MinReaderPositionLocked();
+  int64_t freed = 0;
+  while (base_ < min_pos && !pages_.empty()) {
+    pages_.pop_front();
+    ++base_;
+    ++freed;
+  }
+  if (freed > 0) {
+    pages_reclaimed_->Add(freed);
+    pages_retained_->Sub(freed);
+  }
 }
 
 PageRef SplReader::Next() {
   std::unique_lock<std::mutex> lock(list_->mutex_);
   list_->cv_.wait(lock, [&] {
-    return cancelled_ || cursor_ < list_->pages_.size() || list_->closed_;
+    return cancelled_ || cursor_ < list_->base_ + list_->pages_.size() ||
+           list_->closed_;
   });
-  if (cancelled_ || cursor_ >= list_->pages_.size()) return nullptr;
-  return list_->pages_[cursor_++];
+  if (cancelled_ || cursor_ >= list_->base_ + list_->pages_.size()) {
+    return nullptr;
+  }
+  SHARING_CHECK(cursor_ >= list_->base_)
+      << "reader cursor points at a reclaimed page";
+  PageRef page = list_->pages_[cursor_ - list_->base_];
+  ++cursor_;
+  // Only the reader leaving the reclamation frontier can raise the min
+  // cursor; everyone else would scan the reader list for a no-op.
+  if (cursor_ - 1 == list_->base_) list_->MaybeReclaimLocked();
+  return page;
 }
 
 Status SplReader::FinalStatus() const {
@@ -50,12 +124,18 @@ Status SplReader::FinalStatus() const {
   return list_->final_;
 }
 
+std::size_t SplReader::PagesDelivered() const {
+  std::lock_guard<std::mutex> lock(list_->mutex_);
+  return cursor_;
+}
+
 void SplReader::Cancel() {
   {
     std::lock_guard<std::mutex> lock(list_->mutex_);
     if (cancelled_) return;
     cancelled_ = true;
-    --list_->active_readers_;
+    std::erase(list_->readers_, this);
+    list_->MaybeReclaimLocked();
   }
   list_->cv_.notify_all();
 }

@@ -9,16 +9,19 @@
 // from the beginning (this is what widens SP's sharing window in pull
 // mode).
 //
-// Memory note: pages are retained for the list's lifetime, which is the
-// host packet's query lifetime; they are freed when the host and all
-// satellites drop their references. The original SPL reclaims a page once
-// every attached consumer passed it and no new consumer may attach; we keep
-// the simpler retain-while-live policy (documented in DESIGN.md) since
-// intermediate results at benchmark scale fit comfortably in memory.
+// Memory: the SPL reclaims pages incrementally, as in the original paper.
+// While the attach window is open a late consumer may still need the full
+// history, so nothing is freed; once SealAttachWindow() is called (the
+// PullChannel seals when the producer closes) a page is dropped as soon as
+// every attached reader has moved past it. The pages currently retained
+// are tracked by the `sp.pages_retained` gauge, so bounded memory is
+// observable: the gauge returns to zero after all readers drain instead of
+// growing with result size. See DESIGN.md for the policy decision list.
 
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -39,20 +42,29 @@ class SharedPagesList
     return std::shared_ptr<SharedPagesList>(new SharedPagesList(metrics));
   }
 
+  ~SharedPagesList();
+
   SHARING_DISALLOW_COPY_AND_MOVE(SharedPagesList);
 
   /// Producer: appends a page (no copy — all readers share it). Returns
-  /// false when every reader has cancelled, signalling the producer to
-  /// stop early.
-  bool Append(PageRef page);
+  /// the total pages appended so far, or 0 when no reader can ever
+  /// observe it (every reader cancelled, or the window is sealed with
+  /// none attached), signalling the producer to stop early.
+  std::size_t Append(PageRef page);
 
   /// Producer: seals the list with a terminal status.
   void Close(Status final);
 
-  /// Attaches a reader starting at the first page. Returns nullptr when the
-  /// list terminated with a non-OK status (no point sharing an aborted
-  /// result). Thread-safe; may be called while the producer is appending
-  /// (the widened pull-model sharing window) or after it closed OK.
+  /// Closes the attach window: AttachReader() fails from now on, which
+  /// makes page reclamation safe (no future reader can need the history).
+  /// Idempotent; typically invoked by the owning channel at Close.
+  void SealAttachWindow();
+
+  /// Attaches a reader starting at the first page. Returns nullptr when
+  /// the attach window is sealed or the list terminated with a non-OK
+  /// status (no point sharing an aborted result). Thread-safe; may be
+  /// called while the producer is appending (the widened pull-model
+  /// sharing window) or after it closed OK.
   std::shared_ptr<SplReader> AttachReader();
 
   bool closed() const {
@@ -60,25 +72,71 @@ class SharedPagesList
     return closed_;
   }
 
+  /// Pages currently retained (appended minus reclaimed).
   std::size_t NumPages() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return pages_.size();
   }
 
+  /// Pages ever appended, including reclaimed ones.
+  std::size_t TotalAppended() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return base_ + pages_.size();
+  }
+
+  std::size_t ActiveReaders() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return readers_.size();
+  }
+
+  std::size_t EverAttached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ever_attached_;
+  }
+
+  /// Smallest position (pages consumed) across active readers; equals
+  /// TotalAppended() when no reader is active.
+  std::size_t MinReaderPosition() const;
+
+  /// A mutually consistent view of the list, taken under one lock.
+  struct Snapshot {
+    std::size_t ever_attached = 0;
+    std::size_t active_readers = 0;
+    std::size_t total_appended = 0;
+    std::size_t min_reader_position = 0;
+    bool closed = false;
+  };
+  Snapshot GetSnapshot() const;
+
  private:
   friend class SplReader;
 
   explicit SharedPagesList(MetricsRegistry* metrics)
-      : pages_shared_(metrics->GetCounter(metrics::kSpPagesShared)) {}
+      : pages_shared_(metrics->GetCounter(metrics::kSpPagesShared)),
+        pages_reclaimed_(metrics->GetCounter(metrics::kSpPagesReclaimed)),
+        pages_retained_(metrics->GetGauge(metrics::kSpPagesRetained)) {}
+
+  std::size_t MinReaderPositionLocked() const;
+
+  /// Frees every page all readers have passed. Only legal once the attach
+  /// window is sealed (a future reader could otherwise miss history).
+  void MaybeReclaimLocked();
 
   Counter* pages_shared_;
+  Counter* pages_reclaimed_;
+  Gauge* pages_retained_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<PageRef> pages_;
+  /// Retained pages; pages_[i] holds the page appended at position
+  /// base_ + i (positions below base_ have been reclaimed).
+  std::deque<PageRef> pages_;
+  std::size_t base_ = 0;
   bool closed_ = false;
+  bool sealed_ = false;
   Status final_;
-  std::size_t active_readers_ = 0;
+  /// Active (non-cancelled) readers; their cursors drive reclamation.
+  std::vector<const SplReader*> readers_;
   std::size_t ever_attached_ = 0;
 };
 
@@ -95,7 +153,11 @@ class SplReader final : public PageSource {
 
   void CancelConsumer() override { Cancel(); }
 
-  /// Detaches; a producer with no remaining readers stops early.
+  /// Pages this reader has consumed (the reader-position contract).
+  std::size_t PagesDelivered() const override;
+
+  /// Detaches; a producer with no remaining readers stops early, and the
+  /// pages this reader was holding back become reclaimable.
   void Cancel();
 
  private:

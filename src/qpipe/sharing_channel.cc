@@ -1,0 +1,246 @@
+#include "qpipe/sharing_channel.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+namespace {
+
+/// Shared production-time lag sampling: every few pages the producer
+/// records how far the slowest reader trails it. Callers guard `max`
+/// with their own mutex. One copy of the policy so every transport
+/// (push, pull, and the future spill/NUMA/remote channels) measures the
+/// same signal the adaptive admission thresholds are calibrated to.
+struct LagSampler {
+  static constexpr std::size_t kEvery = 8;
+
+  static bool ShouldSample(std::size_t produced) {
+    return produced % kEvery == 0;
+  }
+
+  std::size_t max = 0;
+
+  void Update(std::size_t produced, std::size_t min_reader_position) {
+    std::size_t lag =
+        produced > min_reader_position ? produced - min_reader_position : 0;
+    max = std::max(max, lag);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PushChannel: the push-model tee. The first attached reader is the host's
+// own consumer and receives the original page; every later reader is a
+// satellite fed a deep copy. All copies run in the producer thread — this
+// loop is the serialization point the paper's pull model removes.
+// ---------------------------------------------------------------------------
+
+class PushChannel final : public SharingChannel {
+ public:
+  explicit PushChannel(SharingChannelOptions options)
+      : options_(std::move(options)),
+        pages_copied_(options_.metrics->GetCounter(metrics::kSpPagesCopied)),
+        bytes_copied_(options_.metrics->GetCounter(metrics::kSpBytesCopied)) {}
+
+  PageSourceRef AttachReader() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!window_open_ || closed_) return nullptr;
+    auto fifo = std::make_shared<FifoBuffer>(options_.fifo_capacity);
+    if (host_ == nullptr) host_ = fifo.get();  // first reader = host's own
+    readers_.push_back(fifo);
+    ++ever_attached_;
+    return fifo;
+  }
+
+  bool Put(PageRef page) override {
+    std::vector<std::shared_ptr<FifoBuffer>> readers;
+    const FifoBuffer* host;
+    std::size_t produced;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      window_open_ = false;  // first emission closes the attach window
+      produced = ++pages_produced_;
+      readers = readers_;
+      host = host_;
+    }
+    bool any = false;
+    std::vector<const FifoBuffer*> dead;
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      PageRef out;
+      if (readers[i].get() == host) {
+        out = page;  // the host's own consumer reads the original
+      } else {
+        // Deep copy per satellite — the defining cost of push-based SP
+        // (charged even after the host cancels: the model forwards).
+        out = std::make_shared<RowPage>(*page);
+        pages_copied_->Increment();
+        bytes_copied_->Add(static_cast<int64_t>(page->data_bytes()));
+      }
+      if (readers[i]->Put(std::move(out))) {
+        any = true;
+      } else {
+        dead.push_back(readers[i].get());
+      }
+    }
+    if (!dead.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::erase_if(readers_, [&](const std::shared_ptr<FifoBuffer>& r) {
+        return std::find(dead.begin(), dead.end(), r.get()) != dead.end();
+      });
+      if (std::find(dead.begin(), dead.end(), host_) != dead.end()) {
+        host_ = nullptr;  // never compare against a freed FIFO
+      }
+    }
+    // Production-time lag sample (every few pages): how far the slowest
+    // *surviving* reader trails the producer — a dead reader's frozen
+    // position would inflate the signal the adaptive policy consumes.
+    if (LagSampler::ShouldSample(produced)) {
+      std::size_t min_delivered = produced;
+      for (const auto& reader : readers) {
+        if (std::find(dead.begin(), dead.end(), reader.get()) != dead.end()) {
+          continue;
+        }
+        min_delivered = std::min(min_delivered, reader->PagesDelivered());
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      lag_.Update(produced, min_delivered);
+    }
+    return any;
+  }
+
+  void Close(Status final) override {
+    std::vector<std::shared_ptr<FifoBuffer>> readers;
+    Stats closing;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      window_open_ = false;
+      readers.swap(readers_);
+      closing.readers_attached = ever_attached_;
+      closing.readers_active = readers.size();
+      closing.pages_produced = pages_produced_;
+      closing.max_consumer_lag = lag_.max;
+    }
+    for (const auto& reader : readers) reader->Close(final);
+    if (options_.on_close) options_.on_close(closing);
+  }
+
+  Stats GetStats() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats stats;
+    stats.readers_attached = ever_attached_;
+    stats.pages_produced = pages_produced_;
+    stats.attach_window_open = window_open_ && !closed_;
+    stats.readers_active = readers_.size();
+    stats.max_consumer_lag = lag_.max;
+    return stats;
+  }
+
+  SpMode mode() const override { return SpMode::kPush; }
+
+ private:
+  SharingChannelOptions options_;
+  Counter* pages_copied_;
+  Counter* bytes_copied_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<FifoBuffer>> readers_;
+  LagSampler lag_;
+  /// The host's own consumer (first attached); identity only, owned by
+  /// readers_. Satellites are fed copies, the host the original.
+  const FifoBuffer* host_ = nullptr;
+  std::size_t ever_attached_ = 0;
+  std::size_t pages_produced_ = 0;
+  bool window_open_ = true;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// PullChannel: the Shared Pages List behind the channel interface. Close
+// seals the SPL's attach window, which both matches the stage's session
+// lifetime (the registry entry is dropped at close) and arms page
+// reclamation.
+// ---------------------------------------------------------------------------
+
+class PullChannel final : public SharingChannel {
+ public:
+  explicit PullChannel(SharingChannelOptions options)
+      : options_(std::move(options)),
+        spl_(SharedPagesList::Create(options_.metrics)) {}
+
+  PageSourceRef AttachReader() override { return spl_->AttachReader(); }
+
+  bool Put(PageRef page) override {
+    std::size_t produced = spl_->Append(std::move(page));
+    if (produced == 0) return false;
+    if (LagSampler::ShouldSample(produced)) {
+      std::size_t min_pos = spl_->MinReaderPosition();
+      std::lock_guard<std::mutex> lock(close_mutex_);
+      lag_.Update(produced, min_pos);
+    }
+    return true;
+  }
+
+  void Close(Status final) override {
+    {
+      std::lock_guard<std::mutex> lock(close_mutex_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    // Seal strictly before closing: the moment a reader can observe
+    // end-of-stream (and its query returns), no new consumer may attach
+    // to this finished session — otherwise a later query could be served
+    // the stale cached result through the closing race.
+    spl_->SealAttachWindow();
+    spl_->Close(std::move(final));
+    if (options_.on_close) options_.on_close(GetStats());
+  }
+
+  Stats GetStats() const override {
+    SharedPagesList::Snapshot snap = spl_->GetSnapshot();
+    Stats stats;
+    stats.readers_attached = snap.ever_attached;
+    stats.readers_active = snap.active_readers;
+    stats.pages_produced = snap.total_appended;
+    stats.attach_window_open = !snap.closed;
+    {
+      std::lock_guard<std::mutex> lock(close_mutex_);
+      stats.max_consumer_lag = lag_.max;
+    }
+    return stats;
+  }
+
+  SpMode mode() const override { return SpMode::kPull; }
+
+ private:
+  SharingChannelOptions options_;
+  std::shared_ptr<SharedPagesList> spl_;
+  mutable std::mutex close_mutex_;
+  LagSampler lag_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+SharingChannelRef MakeSharingChannel(SpMode mode,
+                                     SharingChannelOptions options) {
+  switch (mode) {
+    case SpMode::kPush:
+      return std::make_shared<PushChannel>(std::move(options));
+    case SpMode::kPull:
+      return std::make_shared<PullChannel>(std::move(options));
+    case SpMode::kOff:
+    case SpMode::kAdaptive:
+      break;
+  }
+  SHARING_CHECK(false) << "no sharing channel for mode "
+                       << SpModeToString(mode);
+  return nullptr;
+}
+
+}  // namespace sharing

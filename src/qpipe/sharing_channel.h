@@ -1,0 +1,86 @@
+// SharingChannel: the unified transport behind Simultaneous Pipelining.
+//
+// A channel is the fan-out point between one producing host packet and any
+// number of consuming queries. The producer side is a plain PageSink
+// (Put/Close); consumers attach through AttachReader(), which either
+// succeeds (the consumer becomes an SP satellite fed from the channel) or
+// returns nullptr (the attach window has closed — the caller must execute
+// its own packet). The two implementations embody the paper's two SP
+// models:
+//
+//  * push (PushChannel): the classic QPipe tee. Every reader owns a FIFO;
+//    the host's Put copies the page into each satellite FIFO, serializing
+//    all copies through the producer thread. The attach window closes at
+//    the first emitted page — a late satellite would miss results.
+//  * pull (PullChannel): the paper's Shared Pages List. Pages are appended
+//    once and readers share references at their own pace; the attach
+//    window stays open for the host's whole production and pages are
+//    reclaimed once every reader has passed them (bounded memory — see
+//    shared_pages_list.h and DESIGN.md).
+//
+// Stage keeps a single signature -> SharingChannel registry, so admission
+// logic (including the adaptive per-packet policy) is independent of which
+// transport a session uses. Future transports (spill-to-disk channels,
+// NUMA-partitioned channels, remote shuffle) plug in behind the same
+// interface.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/metrics.h"
+#include "exec/page_stream.h"
+#include "qpipe/fifo_buffer.h"
+#include "qpipe/shared_pages_list.h"
+#include "qpipe/sp_mode.h"
+
+namespace sharing {
+
+class SharingChannel : public PageSink {
+ public:
+  /// Live statistics used by the adaptive admission policy and surfaced to
+  /// the on_close hook when the producer finishes.
+  struct Stats {
+    std::size_t readers_attached = 0;  // ever, including the host's own
+    std::size_t readers_active = 0;
+    std::size_t pages_produced = 0;
+    /// Largest (pages produced - slowest reader position) sampled *during
+    /// production*. Sampling at Put time measures consumer slowness while
+    /// the producer is still running — the signal the adaptive policy
+    /// wants — rather than the undrained queue depth a close-time sample
+    /// would report for any non-trivial result.
+    std::size_t max_consumer_lag = 0;
+    bool attach_window_open = false;
+  };
+
+  /// Attaches a new consumer. Returns nullptr when the attach window has
+  /// closed (push: host already emitted; pull: producer closed) or the
+  /// host aborted.
+  virtual PageSourceRef AttachReader() = 0;
+
+  virtual Stats GetStats() const = 0;
+
+  /// Which SP model this channel implements (kPush or kPull).
+  virtual SpMode mode() const = 0;
+};
+
+using SharingChannelRef = std::shared_ptr<SharingChannel>;
+
+struct SharingChannelOptions {
+  /// Per-reader FIFO capacity (push channels only).
+  std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
+
+  MetricsRegistry* metrics = &MetricsRegistry::Global();
+
+  /// Invoked exactly once, after the producer's Close has propagated to
+  /// every reader. Receives the channel's closing stats (satellite count,
+  /// pages produced, lag) so the stage can feed its adaptive policy and
+  /// deregister the session. Called without channel locks held.
+  std::function<void(const SharingChannel::Stats&)> on_close;
+};
+
+/// Builds a channel for `mode`, which must be kPush or kPull.
+SharingChannelRef MakeSharingChannel(SpMode mode, SharingChannelOptions options);
+
+}  // namespace sharing

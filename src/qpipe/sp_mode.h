@@ -21,6 +21,13 @@ enum class SpMode {
   /// widens the sharing window — satellites may attach mid-production and
   /// still observe the full result.
   kPull,
+
+  /// Per-packet admission policy: the stage picks off/push/pull for each
+  /// fresh packet from live statistics (signature popularity, satellites
+  /// per session, pages produced, consumer lag). Sharing is not always a
+  /// win — cold signatures skip the sharing machinery entirely, and hot
+  /// ones get the transport whose costs the observed workload can afford.
+  kAdaptive,
 };
 
 inline std::string_view SpModeToString(SpMode mode) {
@@ -31,6 +38,8 @@ inline std::string_view SpModeToString(SpMode mode) {
       return "push";
     case SpMode::kPull:
       return "pull";
+    case SpMode::kAdaptive:
+      return "adaptive";
   }
   return "?";
 }

@@ -1,135 +1,17 @@
 #include "qpipe/stage.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
 namespace sharing {
-
-// ---------------------------------------------------------------------------
-// TeeSink: the push-model sharing sink. The host writes once; the sink
-// forwards the page to the host's own consumer and *copies* it into every
-// satellite FIFO. All copies run in the producer thread — this loop is the
-// serialization point the paper's pull model removes.
-// ---------------------------------------------------------------------------
-
-class Stage::TeeSink final : public PageSink {
- public:
-  TeeSink(PageSinkRef own, Counter* pages_copied, Counter* bytes_copied,
-          std::function<void()> on_close)
-      : own_(std::move(own)),
-        pages_copied_(pages_copied),
-        bytes_copied_(bytes_copied),
-        on_close_(std::move(on_close)) {}
-
-  bool Put(PageRef page) override {
-    std::vector<PageSinkRef> satellites;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      window_open_ = false;  // first emission closes the attach window
-      satellites = satellites_;
-    }
-    bool any = own_->Put(page);
-    std::vector<const PageSink*> dead;
-    for (const auto& sat : satellites) {
-      // Deep copy per consumer — the defining cost of push-based SP.
-      auto copy = std::make_shared<RowPage>(*page);
-      pages_copied_->Increment();
-      bytes_copied_->Add(static_cast<int64_t>(page->data_bytes()));
-      if (sat->Put(std::move(copy))) {
-        any = true;
-      } else {
-        dead.push_back(sat.get());
-      }
-    }
-    if (!dead.empty()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      std::erase_if(satellites_, [&](const PageSinkRef& s) {
-        return std::find(dead.begin(), dead.end(), s.get()) != dead.end();
-      });
-    }
-    return any;
-  }
-
-  void Close(Status final) override {
-    std::vector<PageSinkRef> satellites;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return;
-      closed_ = true;
-      window_open_ = false;
-      satellites.swap(satellites_);
-    }
-    own_->Close(final);
-    for (const auto& sat : satellites) sat->Close(final);
-    if (on_close_) on_close_();
-  }
-
-  /// Registers a satellite sink; fails once the host has emitted anything.
-  bool TryAttach(PageSinkRef satellite) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!window_open_ || closed_) return false;
-    satellites_.push_back(std::move(satellite));
-    return true;
-  }
-
- private:
-  PageSinkRef own_;
-  Counter* pages_copied_;
-  Counter* bytes_copied_;
-  std::function<void()> on_close_;
-
-  std::mutex mutex_;
-  std::vector<PageSinkRef> satellites_;
-  bool window_open_ = true;
-  bool closed_ = false;
-};
-
-struct Stage::PushSession {
-  std::shared_ptr<TeeSink> tee;
-};
-
-struct Stage::PullSession {
-  std::shared_ptr<SharedPagesList> spl;
-};
-
-namespace {
-
-/// Adapts a SharedPagesList's producer side to the PageSink interface and
-/// deregisters the SP session when the host closes.
-class SplSink final : public PageSink {
- public:
-  SplSink(std::shared_ptr<SharedPagesList> spl, std::function<void()> on_close)
-      : spl_(std::move(spl)), on_close_(std::move(on_close)) {}
-
-  bool Put(PageRef page) override { return spl_->Append(std::move(page)); }
-
-  void Close(Status final) override {
-    spl_->Close(std::move(final));
-    if (on_close_) {
-      on_close_();
-      on_close_ = nullptr;
-    }
-  }
-
- private:
-  std::shared_ptr<SharedPagesList> spl_;
-  std::function<void()> on_close_;
-};
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Stage
-// ---------------------------------------------------------------------------
 
 Stage::Stage(std::string name, Options options, MetricsRegistry* metrics)
     : name_(std::move(name)),
       options_(options),
       metrics_(metrics),
       sp_opportunities_(metrics->GetCounter(metrics::kSpOpportunities)),
-      sp_pages_copied_(metrics->GetCounter(metrics::kSpPagesCopied)),
-      sp_bytes_copied_(metrics->GetCounter(metrics::kSpBytesCopied)),
       pool_(options.initial_workers, options.max_workers) {}
 
 Stage::~Stage() { Shutdown(); }
@@ -151,104 +33,152 @@ StageStats Stage::GetStats() const {
   stats.packets_submitted = packets_submitted_.load();
   stats.packets_executed = packets_executed_.load();
   stats.sp_hits = sp_hits_.load();
+  stats.sp_sessions_closed = sp_sessions_closed_.load();
+  stats.sp_satellites_served = sp_satellites_served_.load();
+  stats.sp_pages_produced = sp_pages_produced_.load();
+  stats.sp_lag_accumulated = sp_lag_accumulated_.load();
+  stats.adaptive_off = adaptive_off_.load();
+  stats.adaptive_push = adaptive_push_.load();
+  stats.adaptive_pull = adaptive_pull_.load();
   return stats;
+}
+
+int64_t Stage::RecordSubmissionLocked(uint64_t sig) {
+  const int64_t seq = ++submit_seq_;
+  // Bound the popularity map: distinct signatures accumulate forever in a
+  // long-lived server, so shed all history (rarely) rather than grow.
+  if (last_seen_.size() > 4096) last_seen_.clear();
+  auto [it, inserted] = last_seen_.try_emplace(sig, seq);
+  if (inserted) return std::numeric_limits<int64_t>::max();
+  int64_t gap = seq - it->second;
+  it->second = seq;
+  return gap;
+}
+
+SpMode Stage::ChooseAdaptiveMode(int64_t submissions_since_last_seen) {
+  const AdaptiveSpPolicy& policy = options_.adaptive;
+  if (submissions_since_last_seen > policy.popularity_window) {
+    adaptive_off_.fetch_add(1, std::memory_order_relaxed);
+    return SpMode::kOff;
+  }
+  const int64_t sessions = sp_sessions_closed_.load(std::memory_order_relaxed);
+  // No session history yet: host with pull, the transport that keeps the
+  // widest attach window and never blocks the producer on a slow copy.
+  bool pull = sessions == 0;
+  if (!pull) {
+    const double n = static_cast<double>(sessions);
+    const double avg_satellites =
+        static_cast<double>(sp_satellites_served_.load()) / n;
+    const double avg_pages =
+        static_cast<double>(sp_pages_produced_.load()) / n;
+    const double avg_lag = static_cast<double>(sp_lag_accumulated_.load()) / n;
+    // A push session's lag saturates at the FIFO capacity (the producer
+    // blocks there), so cap the trigger at the capacity or the convoy
+    // case could never reach a larger configured threshold.
+    const double lag_threshold =
+        std::min(policy.pull_lag_threshold,
+                 static_cast<double>(options_.fifo_capacity));
+    pull = avg_satellites >= policy.pull_satellite_threshold ||
+           avg_pages >= policy.pull_pages_threshold ||
+           avg_lag >= lag_threshold;
+  }
+  if (pull) {
+    adaptive_pull_.fetch_add(1, std::memory_order_relaxed);
+    return SpMode::kPull;
+  }
+  adaptive_push_.fetch_add(1, std::memory_order_relaxed);
+  return SpMode::kPush;
+}
+
+void Stage::RecordSessionClose(const SharingChannel::Stats& stats) {
+  sp_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (stats.readers_attached > 1) {
+    sp_satellites_served_.fetch_add(
+        static_cast<int64_t>(stats.readers_attached - 1),
+        std::memory_order_relaxed);
+  }
+  sp_pages_produced_.fetch_add(static_cast<int64_t>(stats.pages_produced),
+                               std::memory_order_relaxed);
+  // Cap each session's lag contribution at the FIFO capacity — the point
+  // where a push host would convoy. Pull sessions can legitimately run
+  // far ahead of their readers (and a mid-production attach starts a
+  // reader arbitrarily far behind); letting that unbounded lag into the
+  // average would latch the policy into pull forever.
+  sp_lag_accumulated_.fetch_add(
+      static_cast<int64_t>(
+          std::min(stats.max_consumer_lag, options_.fifo_capacity)),
+      std::memory_order_relaxed);
 }
 
 PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
                                    const MakeInputsFn& make_inputs,
                                    const PreparePacketFn& prepare) {
   packets_submitted_.fetch_add(1, std::memory_order_relaxed);
-  const SpMode mode = sp_mode();
+  const SpMode configured = sp_mode();
   const uint64_t sig = node->Signature();
 
-  if (mode == SpMode::kPush) {
-    std::unique_lock<std::mutex> lock(registry_mutex_);
-    auto it = push_sessions_.find(sig);
-    if (it != push_sessions_.end()) {
-      auto satellite = std::make_shared<FifoBuffer>(options_.fifo_capacity);
-      if (it->second->tee->TryAttach(satellite)) {
-        sp_hits_.fetch_add(1, std::memory_order_relaxed);
-        sp_opportunities_->Increment();
-        return satellite;
-      }
-      // Window already closed: this session can no longer accept
-      // satellites; replace it with a fresh host below.
-      push_sessions_.erase(it);
-    }
-    lock.unlock();
-    return SubmitFresh(node, ctx, make_inputs, prepare, mode);
-  }
-
-  if (mode == SpMode::kPull) {
-    std::unique_lock<std::mutex> lock(registry_mutex_);
-    auto it = pull_sessions_.find(sig);
-    if (it != pull_sessions_.end()) {
-      if (auto reader = it->second->spl->AttachReader()) {
+  int64_t gap = 0;
+  if (configured != SpMode::kOff) {
+    // Attaching to an in-flight identical packet is a free win in every
+    // sharing mode, whichever transport the host happens to use. (kOff
+    // submissions skip the registry entirely — no lock on that path.)
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (configured == SpMode::kAdaptive) gap = RecordSubmissionLocked(sig);
+    auto it = channels_.find(sig);
+    if (it != channels_.end()) {
+      if (PageSourceRef reader = it->second->AttachReader()) {
         sp_hits_.fetch_add(1, std::memory_order_relaxed);
         sp_opportunities_->Increment();
         return reader;
       }
-      pull_sessions_.erase(it);  // host aborted; start over
+      // Attach window closed (push host already emitting, or the host
+      // finished/aborted): replace with a fresh host below.
+      channels_.erase(it);
     }
-    lock.unlock();
-    return SubmitFresh(node, ctx, make_inputs, prepare, mode);
   }
 
-  return SubmitFresh(node, ctx, make_inputs, prepare, mode);
+  SpMode mode = configured;
+  if (configured == SpMode::kAdaptive) mode = ChooseAdaptiveMode(gap);
+  return SubmitFresh(std::move(node), std::move(ctx), make_inputs, prepare,
+                     mode);
 }
 
 PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
                                  const MakeInputsFn& make_inputs,
                                  const PreparePacketFn& prepare, SpMode mode) {
+  if (mode == SpMode::kOff) {
+    auto fifo = std::make_shared<FifoBuffer>(options_.fifo_capacity);
+    Enqueue(std::move(node), std::move(ctx), fifo, make_inputs, prepare);
+    return fifo;
+  }
+
   const uint64_t sig = node->Signature();
-
-  if (mode == SpMode::kPush) {
-    auto own = std::make_shared<FifoBuffer>(options_.fifo_capacity);
-    auto session = std::make_shared<PushSession>();
-    std::weak_ptr<PushSession> weak = session;
-    session->tee = std::make_shared<TeeSink>(
-        own, sp_pages_copied_, sp_bytes_copied_, [this, sig, weak] {
-          std::lock_guard<std::mutex> lock(registry_mutex_);
-          auto it = push_sessions_.find(sig);
-          if (it != push_sessions_.end() && it->second == weak.lock()) {
-            push_sessions_.erase(it);
-          }
-        });
-    {
-      std::lock_guard<std::mutex> lock(registry_mutex_);
-      push_sessions_[sig] = session;
+  SharingChannelOptions copts;
+  copts.fifo_capacity = options_.fifo_capacity;
+  copts.metrics = metrics_;
+  // The close hook needs the channel's identity to deregister exactly this
+  // session (a newer host may have replaced it under the same signature),
+  // but the channel is constructed after the hook — bridge with a slot.
+  auto self_slot = std::make_shared<std::weak_ptr<SharingChannel>>();
+  copts.on_close = [this, sig, self_slot](const SharingChannel::Stats& stats) {
+    RecordSessionClose(stats);
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = channels_.find(sig);
+    if (it != channels_.end() && it->second == self_slot->lock()) {
+      channels_.erase(it);
     }
-    Enqueue(std::move(node), std::move(ctx), session->tee, make_inputs,
-            prepare);
-    return own;
-  }
+  };
 
-  if (mode == SpMode::kPull) {
-    auto spl = SharedPagesList::Create(metrics_);
-    auto session = std::make_shared<PullSession>();
-    session->spl = spl;
-    std::weak_ptr<PullSession> weak = session;
-    auto reader = spl->AttachReader();
-    SHARING_CHECK(reader != nullptr);
-    auto sink = std::make_shared<SplSink>(spl, [this, sig, weak] {
-      std::lock_guard<std::mutex> lock(registry_mutex_);
-      auto it = pull_sessions_.find(sig);
-      if (it != pull_sessions_.end() && it->second == weak.lock()) {
-        pull_sessions_.erase(it);
-      }
-    });
-    {
-      std::lock_guard<std::mutex> lock(registry_mutex_);
-      pull_sessions_[sig] = session;
-    }
-    Enqueue(std::move(node), std::move(ctx), std::move(sink), make_inputs,
-            prepare);
-    return reader;
+  SharingChannelRef channel = MakeSharingChannel(mode, std::move(copts));
+  *self_slot = channel;
+  PageSourceRef host_reader = channel->AttachReader();
+  SHARING_CHECK(host_reader != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    channels_[sig] = channel;
   }
-
-  auto fifo = std::make_shared<FifoBuffer>(options_.fifo_capacity);
-  Enqueue(std::move(node), std::move(ctx), fifo, make_inputs, prepare);
-  return fifo;
+  Enqueue(std::move(node), std::move(ctx), channel, make_inputs, prepare);
+  return host_reader;
 }
 
 void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
@@ -264,6 +194,7 @@ void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
   packets_executed_.fetch_add(1, std::memory_order_relaxed);
   bool ok = pool_.Submit([this, packet] { RunPacket(*packet); });
   if (!ok) {
+    for (const auto& input : packet->inputs) input->CancelConsumer();
     packet->output->Close(Status::Aborted("stage shut down"));
   }
 }

@@ -3,14 +3,20 @@
 //
 // SP happens at packet admission: when a submitted packet's plan signature
 // matches an in-flight packet at the same stage, the newcomer becomes a
-// *satellite* of the in-flight *host* and performs no work of its own:
+// *satellite* of the in-flight *host* and performs no work of its own. The
+// host's output flows through a SharingChannel (see sharing_channel.h);
+// satellites are the channel's extra readers:
 //
-//  * push mode (original QPipe): the host's TeeSink copies every output
-//    page into the satellite's FIFO. The attach window closes when the
-//    host emits its first page (a late satellite would miss results).
+//  * push mode (original QPipe): the channel copies every output page into
+//    the satellite's FIFO. The attach window closes when the host emits
+//    its first page (a late satellite would miss results).
 //  * pull mode (SPL): the satellite attaches a reader to the host's
 //    SharedPagesList and reads the shared pages from the beginning; the
 //    attach window stays open for the host's entire production.
+//  * adaptive mode: the stage picks off/push/pull per packet from live
+//    stats — signature popularity decides *whether* to host a sharing
+//    channel at all, and per-session history (satellite count, result
+//    size, consumer lag) decides *which* transport to host with.
 
 #pragma once
 
@@ -27,10 +33,34 @@
 #include "common/metrics.h"
 #include "qpipe/fifo_buffer.h"
 #include "qpipe/packet.h"
-#include "qpipe/shared_pages_list.h"
+#include "qpipe/sharing_channel.h"
 #include "qpipe/sp_mode.h"
 
 namespace sharing {
+
+/// Tuning for SpMode::kAdaptive.
+struct AdaptiveSpPolicy {
+  /// A signature is "hot" when it was last submitted within this many
+  /// stage submissions; cold signatures execute unshared (sharing is not
+  /// always a win — hosting a channel costs registry and window
+  /// bookkeeping that a never-matched packet would waste).
+  int64_t popularity_window = 64;
+
+  /// Mean satellites per closed sharing session at/above which hot
+  /// packets host a pull channel: many satellites make the push model's
+  /// producer-serialized copies the bottleneck.
+  double pull_satellite_threshold = 2.0;
+
+  /// Mean pages per closed sharing session at/above which pull is chosen
+  /// (large results make per-satellite copies expensive).
+  double pull_pages_threshold = 64.0;
+
+  /// Mean production-time consumer lag (pages behind the producer,
+  /// sampled while the host is still putting) at/above which pull is
+  /// chosen: laggy consumers stall a push host on FIFO backpressure,
+  /// while pull readers lag without blocking the producer.
+  double pull_lag_threshold = 16.0;
+};
 
 /// Per-stage statistics surfaced by the demo GUI (Scenario IV's key metric
 /// is SP opportunities exploited per stage).
@@ -38,6 +68,21 @@ struct StageStats {
   int64_t packets_submitted = 0;
   int64_t packets_executed = 0;  // hosts + unshared
   int64_t sp_hits = 0;           // satellites served without execution
+
+  // Sharing-session history (closed sessions only) — the inputs to the
+  // adaptive policy.
+  int64_t sp_sessions_closed = 0;
+  int64_t sp_satellites_served = 0;
+  int64_t sp_pages_produced = 0;
+  /// Sum over closed sessions of their production-time max consumer lag;
+  /// divide by sp_sessions_closed for the mean ChooseAdaptiveMode
+  /// compares against pull_lag_threshold.
+  int64_t sp_lag_accumulated = 0;
+
+  // Adaptive admission decisions taken for fresh packets.
+  int64_t adaptive_off = 0;
+  int64_t adaptive_push = 0;
+  int64_t adaptive_pull = 0;
 };
 
 class Stage {
@@ -55,6 +100,8 @@ class Stage {
     std::size_t max_workers = 1024;
 
     std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
+
+    AdaptiveSpPolicy adaptive;
   };
 
   Stage(std::string name, Options options, MetricsRegistry* metrics);
@@ -92,10 +139,6 @@ class Stage {
   virtual void RunPacket(Packet& packet) = 0;
 
  private:
-  class TeeSink;
-  struct PushSession;
-  struct PullSession;
-
   PageSourceRef SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
                             const MakeInputsFn& make_inputs,
                             const PreparePacketFn& prepare, SpMode mode);
@@ -104,21 +147,42 @@ class Stage {
                const MakeInputsFn& make_inputs,
                const PreparePacketFn& prepare);
 
+  /// Records a submission of `sig` and returns how many stage submissions
+  /// happened since it was last seen (INT64_MAX for the first sighting).
+  /// Only called in adaptive mode; requires registry_mutex_ held.
+  int64_t RecordSubmissionLocked(uint64_t sig);
+
+  /// The adaptive per-packet decision for a fresh (non-attaching) packet.
+  SpMode ChooseAdaptiveMode(int64_t submissions_since_last_seen);
+
+  /// Folds a closed channel's stats into the adaptive history.
+  void RecordSessionClose(const SharingChannel::Stats& stats);
+
   std::string name_;
   mutable std::mutex mode_mutex_;
   Options options_;
   MetricsRegistry* metrics_;
   Counter* sp_opportunities_;
-  Counter* sp_pages_copied_;
-  Counter* sp_bytes_copied_;
 
   std::atomic<int64_t> packets_submitted_{0};
   std::atomic<int64_t> packets_executed_{0};
   std::atomic<int64_t> sp_hits_{0};
 
+  std::atomic<int64_t> sp_sessions_closed_{0};
+  std::atomic<int64_t> sp_satellites_served_{0};
+  std::atomic<int64_t> sp_pages_produced_{0};
+  std::atomic<int64_t> sp_lag_accumulated_{0};
+  std::atomic<int64_t> adaptive_off_{0};
+  std::atomic<int64_t> adaptive_push_{0};
+  std::atomic<int64_t> adaptive_pull_{0};
+
   std::mutex registry_mutex_;
-  std::unordered_map<uint64_t, std::shared_ptr<PushSession>> push_sessions_;
-  std::unordered_map<uint64_t, std::shared_ptr<PullSession>> pull_sessions_;
+  /// In-flight sharing sessions by plan signature, transport-agnostic.
+  std::unordered_map<uint64_t, SharingChannelRef> channels_;
+  /// Popularity tracking for the adaptive policy: signature -> submission
+  /// sequence number when last seen.
+  std::unordered_map<uint64_t, int64_t> last_seen_;
+  int64_t submit_seq_ = 0;
 
   ElasticThreadPool pool_;
 };

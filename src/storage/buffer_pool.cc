@@ -204,6 +204,22 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+StatusOr<std::size_t> BufferPool::EvictAll() {
+  SHARING_RETURN_NOT_OK(FlushAll());
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t evicted = 0;
+  for (auto& f : frames_) {
+    if (f.state != FrameState::kReady || f.pin_count > 0 || f.dirty) continue;
+    page_table_.erase(f.page_id);
+    f.state = FrameState::kFree;
+    f.page_id = kInvalidPageId;
+    f.ref = false;
+    evictions_->Increment();
+    ++evicted;
+  }
+  return evicted;
+}
+
 void BufferPool::MarkDirty(PageId page_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(page_id);

@@ -77,6 +77,12 @@ class BufferPool {
   /// Writes all dirty resident pages back to disk.
   Status FlushAll();
 
+  /// Drops every unpinned resident page (flushing dirty ones first), so
+  /// subsequent fetches go to disk. Pinned and in-flight pages survive.
+  /// Returns the number of pages evicted. Used by fault-injection tests
+  /// and cold-cache benchmark runs; not a hot path.
+  StatusOr<std::size_t> EvictAll();
+
   std::size_t num_frames() const { return frames_.size(); }
   BufferPoolStats GetStats() const;
 

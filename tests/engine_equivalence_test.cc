@@ -193,8 +193,8 @@ TEST_P(EngineModeTest, ConcurrentDeepJoinChainsDoNotStarveStages) {
 INSTANTIATE_TEST_SUITE_P(
     AllModes, EngineModeTest,
     ::testing::Values(EngineMode::kQueryCentric, EngineMode::kSpPush,
-                      EngineMode::kSpPull, EngineMode::kGqp,
-                      EngineMode::kGqpSp),
+                      EngineMode::kSpPull, EngineMode::kSpAdaptive,
+                      EngineMode::kGqp, EngineMode::kGqpSp),
     [](const auto& info) {
       std::string name(EngineModeToString(info.param));
       for (auto& c : name) {
@@ -210,7 +210,8 @@ TEST(EngineModeSwitchTest, ModeChangesAtRuntimeKeepCorrectness) {
   const auto& want = EquivalenceEnv::Get().Reference(plan);
   for (EngineMode mode :
        {EngineMode::kQueryCentric, EngineMode::kSpPull, EngineMode::kGqp,
-        EngineMode::kGqpSp, EngineMode::kSpPush, EngineMode::kQueryCentric}) {
+        EngineMode::kGqpSp, EngineMode::kSpPush, EngineMode::kSpAdaptive,
+        EngineMode::kQueryCentric}) {
     engine.SetMode(mode);
     auto got = engine.Execute(plan);
     ASSERT_TRUE(got.ok()) << EngineModeToString(mode) << ": "

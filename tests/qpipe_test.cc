@@ -214,11 +214,50 @@ TEST_P(QPipeSpTest, DifferentPredicatesDoNotShare) {
   EXPECT_EQ(engine.agg_stage()->GetStats().sp_hits, 0);
 }
 
-INSTANTIATE_TEST_SUITE_P(PushAndPull, QPipeSpTest,
-                         ::testing::Values(SpMode::kPush, SpMode::kPull),
+INSTANTIATE_TEST_SUITE_P(PushPullAdaptive, QPipeSpTest,
+                         ::testing::Values(SpMode::kPush, SpMode::kPull,
+                                           SpMode::kAdaptive),
                          [](const auto& info) {
                            return std::string(SpModeToString(info.param));
                          });
+
+TEST_F(QPipeTest, AdaptiveSharesHotQueriesAndSkipsColdOnes) {
+  QPipeOptions options = QPipeOptions::AllSp(SpMode::kAdaptive);
+  QPipeEngine engine(db_->catalog(), options, db_->metrics());
+
+  // Cold phase: distinct plans; the adaptive policy must not host sharing
+  // channels for signatures it has never seen twice.
+  for (int q = 0; q < 4; ++q) {
+    ASSERT_TRUE(engine.Execute(AggPlan(200 + q)).ok());
+  }
+  StageStats cold = engine.scan_stage()->GetStats();
+  EXPECT_EQ(cold.sp_hits, 0);
+  EXPECT_GT(cold.adaptive_off, 0)
+      << "never-repeated signatures must execute unshared";
+  EXPECT_EQ(cold.adaptive_push + cold.adaptive_pull, 0);
+
+  // Hot phase: the same plan submitted in a batch. From the second
+  // sighting on the signature is hot, so a sharing channel is hosted and
+  // later submissions attach as satellites.
+  constexpr int kQueries = 6;
+  std::vector<QueryHandle> handles;
+  for (int q = 0; q < kQueries; ++q) {
+    handles.push_back(engine.Submit(AggPlan()));
+  }
+  auto want = Reference(AggPlan());
+  for (auto& h : handles) {
+    auto got = h.Collect();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectResultsEquivalent(want, got.value());
+  }
+  StageStats hot = engine.scan_stage()->GetStats();
+  StageStats hot_agg = engine.agg_stage()->GetStats();
+  EXPECT_GT(hot.adaptive_push + hot.adaptive_pull + hot_agg.adaptive_push +
+                hot_agg.adaptive_pull,
+            0)
+      << "a repeated signature must be hosted on a sharing channel";
+  EXPECT_GT(hot.sp_hits + hot_agg.sp_hits, 0);
+}
 
 TEST_F(QPipeTest, PushSpCopiesPagesPullSpShares) {
   // Push mode must report copied pages; pull mode must not copy at all.

@@ -295,6 +295,7 @@ TEST_F(FaultTest, CjoinPipelineFailsQueriesOnFactScanError) {
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
 
   db->disk()->FailNextReads(1000000);  // persistent failure
+  ASSERT_TRUE(db->buffer_pool()->EvictAll().ok());  // force disk reads
   auto result = engine.Execute(plan);
   ASSERT_FALSE(result.ok());
 
@@ -315,9 +316,14 @@ TEST_F(FaultTest, AllEngineModesSurfacePersistentIoError) {
       {.selectivity = 0.05, .num_variants = 1, .variant = 0});
   for (EngineMode mode :
        {EngineMode::kQueryCentric, EngineMode::kSpPush, EngineMode::kSpPull,
-        EngineMode::kGqp, EngineMode::kGqpSp}) {
+        EngineMode::kSpAdaptive, EngineMode::kGqp, EngineMode::kGqpSp}) {
     engine.SetMode(mode);
+    // Inject the fault *before* dropping the cache: the CJOIN pipeline
+    // scans continuously, and evicting first would let it re-warm the
+    // pool from the healthy disk before the fault lands. With the fault
+    // already armed, the cold cache forces every path to observe it.
     db->disk()->FailNextReads(1000000);
+    ASSERT_TRUE(db->buffer_pool()->EvictAll().ok());
     auto result = engine.Execute(plan);
     EXPECT_FALSE(result.ok()) << EngineModeToString(mode);
     db->disk()->FailNextReads(0);

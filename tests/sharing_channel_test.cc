@@ -1,0 +1,313 @@
+// Tests for the unified SharingChannel transport: push/pull equivalence
+// through one interface, the widened pull attach window, reference-counted
+// SPL page reclamation (bounded memory), and producer unblocking when all
+// readers cancel.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "qpipe/sharing_channel.h"
+
+namespace sharing {
+namespace {
+
+PageRef MakePage(int64_t tag, std::size_t rows = 4) {
+  auto page = std::make_shared<RowPage>(sizeof(int64_t), 64);
+  for (std::size_t i = 0; i < rows; ++i) {
+    int64_t v = tag * 100 + static_cast<int64_t>(i);
+    page->AppendRow(reinterpret_cast<const uint8_t*>(&v));
+  }
+  return page;
+}
+
+int64_t FirstValue(const PageRef& page) {
+  int64_t v;
+  std::memcpy(&v, page->RowAt(0), sizeof(v));
+  return v;
+}
+
+class SharingChannelTest : public ::testing::TestWithParam<SpMode> {
+ protected:
+  SharingChannelRef MakeChannel(
+      std::function<void(const SharingChannel::Stats&)> on_close = {}) {
+    SharingChannelOptions options;
+    options.metrics = &metrics_;
+    options.fifo_capacity = 16;
+    options.on_close = std::move(on_close);
+    return MakeSharingChannel(GetParam(), std::move(options));
+  }
+
+  MetricsRegistry metrics_;
+};
+
+// Both transports must deliver the identical ordered stream to every
+// reader attached before production starts.
+TEST_P(SharingChannelTest, AllReadersSeeIdenticalStream) {
+  auto channel = MakeChannel();
+  constexpr int kReaders = 3;
+  constexpr int kPages = 200;
+
+  std::vector<PageSourceRef> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    auto reader = channel->AttachReader();
+    ASSERT_NE(reader, nullptr);
+    readers.push_back(std::move(reader));
+  }
+
+  std::thread producer([&] {
+    for (int i = 0; i < kPages; ++i) channel->Put(MakePage(i, 1));
+    channel->Close(Status::OK());
+  });
+
+  std::vector<std::thread> consumers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kReaders; ++r) {
+    consumers.emplace_back([&, r] {
+      int64_t expect = 0;
+      while (PageRef page = readers[r]->Next()) {
+        if (FirstValue(page) != expect * 100) failures.fetch_add(1);
+        ++expect;
+      }
+      if (expect != kPages) failures.fetch_add(1);
+      if (!readers[r]->FinalStatus().ok()) failures.fetch_add(1);
+    });
+  }
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(SharingChannelTest, CloseWithErrorReachesEveryReader) {
+  auto channel = MakeChannel();
+  auto r1 = channel->AttachReader();
+  auto r2 = channel->AttachReader();
+  channel->Put(MakePage(1));
+  channel->Close(Status::Aborted("host failed"));
+  while (r1->Next()) {
+  }
+  while (r2->Next()) {
+  }
+  EXPECT_EQ(r1->FinalStatus().code(), StatusCode::kAborted);
+  EXPECT_EQ(r2->FinalStatus().code(), StatusCode::kAborted);
+}
+
+TEST_P(SharingChannelTest, AllReadersCancellingStopsProducer) {
+  SharingChannelOptions options;
+  options.metrics = &metrics_;
+  options.fifo_capacity = 1;  // tight, so a push producer hits backpressure
+  auto channel = MakeSharingChannel(GetParam(), std::move(options));
+
+  auto reader = channel->AttachReader();
+  ASSERT_NE(reader, nullptr);
+
+  std::atomic<bool> producer_stopped{false};
+  std::thread producer([&] {
+    bool alive = true;
+    for (int i = 0; i < 100000 && alive; ++i) {
+      alive = channel->Put(MakePage(i, 1));
+    }
+    producer_stopped.store(true);
+    channel->Close(Status::OK());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  reader->CancelConsumer();
+  producer.join();
+  EXPECT_TRUE(producer_stopped.load());
+}
+
+TEST_P(SharingChannelTest, OnCloseReportsSessionStats) {
+  SharingChannel::Stats closing;
+  std::atomic<int> close_calls{0};
+  auto channel = MakeChannel([&](const SharingChannel::Stats& stats) {
+    closing = stats;
+    close_calls.fetch_add(1);
+  });
+  auto host = channel->AttachReader();
+  auto satellite = channel->AttachReader();
+  channel->Put(MakePage(1));
+  channel->Put(MakePage(2));
+  channel->Close(Status::OK());
+  channel->Close(Status::OK());  // idempotent: the hook must fire once
+  while (host->Next()) {
+  }
+  while (satellite->Next()) {
+  }
+  EXPECT_EQ(close_calls.load(), 1);
+  EXPECT_EQ(closing.readers_attached, 2u);
+  EXPECT_EQ(closing.pages_produced, 2u);
+  EXPECT_FALSE(closing.attach_window_open);
+}
+
+INSTANTIATE_TEST_SUITE_P(PushAndPull, SharingChannelTest,
+                         ::testing::Values(SpMode::kPush, SpMode::kPull),
+                         [](const auto& info) {
+                           return std::string(SpModeToString(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Model-specific window semantics
+// ---------------------------------------------------------------------------
+
+TEST(PushChannelTest, AttachWindowClosesAtFirstEmission) {
+  MetricsRegistry metrics;
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPush, std::move(options));
+  auto host = channel->AttachReader();
+  ASSERT_NE(host, nullptr);
+  channel->Put(MakePage(1));
+  EXPECT_EQ(channel->AttachReader(), nullptr)
+      << "a late push satellite would miss the already-emitted page";
+  channel->Close(Status::OK());
+}
+
+TEST(PushChannelTest, SatellitesAreFedCopies) {
+  MetricsRegistry metrics;
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPush, std::move(options));
+  auto host = channel->AttachReader();
+  auto satellite = channel->AttachReader();
+  PageRef original = MakePage(7);
+  const RowPage* raw = original.get();
+  channel->Put(std::move(original));
+  channel->Close(Status::OK());
+  EXPECT_EQ(host->Next().get(), raw);       // host reads the original
+  EXPECT_NE(satellite->Next().get(), raw);  // satellite reads a deep copy
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesCopied)->Get(), 1);
+}
+
+TEST(PullChannelTest, MidProductionAttachSeesAllPages) {
+  MetricsRegistry metrics;
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+  auto host = channel->AttachReader();
+  channel->Put(MakePage(1));
+  channel->Put(MakePage(2));
+  // The widened pull window: attach mid-production, observe full history.
+  auto late = channel->AttachReader();
+  ASSERT_NE(late, nullptr);
+  channel->Put(MakePage(3));
+  channel->Close(Status::OK());
+
+  int host_count = 0, late_count = 0;
+  int64_t first = -1;
+  while (PageRef page = host->Next()) ++host_count;
+  while (PageRef page = late->Next()) {
+    if (first < 0) first = FirstValue(page);
+    ++late_count;
+  }
+  EXPECT_EQ(host_count, 3);
+  EXPECT_EQ(late_count, 3);
+  EXPECT_EQ(first, 100);  // history starts at the first page
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesCopied)->Get(), 0)
+      << "pull-model SP must not copy pages";
+}
+
+TEST(PullChannelTest, CloseSealsAttachWindow) {
+  MetricsRegistry metrics;
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+  auto host = channel->AttachReader();
+  channel->Put(MakePage(1));
+  channel->Close(Status::OK());
+  EXPECT_EQ(channel->AttachReader(), nullptr)
+      << "a closed session is deregistered; late queries must re-execute";
+}
+
+// ---------------------------------------------------------------------------
+// Bounded memory: reference-counted SPL reclamation
+// ---------------------------------------------------------------------------
+
+TEST(PullChannelTest, PagesReclaimedAfterAllReadersPass) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+
+  constexpr int kPages = 500;
+  auto fast = channel->AttachReader();
+  auto slow = channel->AttachReader();
+  for (int i = 0; i < kPages; ++i) channel->Put(MakePage(i, 1));
+  EXPECT_EQ(retained->Get(), kPages)
+      << "while the attach window is open every page must stay retained";
+  channel->Close(Status::OK());  // seals the window, arming reclamation
+
+  // The fast reader alone cannot free anything: the slow reader still
+  // needs the history.
+  while (fast->Next()) {
+  }
+  EXPECT_EQ(retained->Get(), kPages);
+
+  // As the slow reader advances, pages behind it are freed incrementally.
+  for (int i = 0; i < kPages / 2; ++i) slow->Next();
+  EXPECT_LE(retained->Get(), kPages - kPages / 2 + 1);
+
+  while (slow->Next()) {
+  }
+  EXPECT_EQ(retained->Get(), 0)
+      << "pages_retained must return to zero once all readers drain";
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesReclaimed)->Get(), kPages);
+  EXPECT_EQ(retained->HighWaterMark(), kPages);
+}
+
+TEST(PullChannelTest, ReaderCancelReleasesItsHold) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+
+  auto done = channel->AttachReader();
+  auto stuck = channel->AttachReader();
+  for (int i = 0; i < 100; ++i) channel->Put(MakePage(i, 1));
+  channel->Close(Status::OK());
+  while (done->Next()) {
+  }
+  EXPECT_EQ(retained->Get(), 100) << "the stuck reader pins the history";
+  stuck->CancelConsumer();
+  EXPECT_EQ(retained->Get(), 0)
+      << "cancelling the last laggard frees everything";
+}
+
+TEST(PullChannelTest, ConcurrentDrainReclaimsEverything) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+
+  constexpr int kReaders = 6;
+  constexpr int kPages = 2000;
+  std::vector<PageSourceRef> readers;
+  for (int r = 0; r < kReaders; ++r) readers.push_back(channel->AttachReader());
+
+  std::thread producer([&] {
+    for (int i = 0; i < kPages; ++i) channel->Put(MakePage(i, 1));
+    channel->Close(Status::OK());
+  });
+  std::vector<std::thread> consumers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kReaders; ++r) {
+    consumers.emplace_back([&, r] {
+      int count = 0;
+      while (readers[r]->Next()) ++count;
+      if (count != kPages) failures.fetch_add(1);
+    });
+  }
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(retained->Get(), 0);
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesReclaimed)->Get(), kPages);
+}
+
+}  // namespace
+}  // namespace sharing

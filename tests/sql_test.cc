@@ -466,8 +466,8 @@ TEST_P(SqlEngineTest, SqlStarQueryMatchesReferenceAcrossModes) {
 INSTANTIATE_TEST_SUITE_P(
     AllModes, SqlEngineTest,
     ::testing::Values(EngineMode::kQueryCentric, EngineMode::kSpPush,
-                      EngineMode::kSpPull, EngineMode::kGqp,
-                      EngineMode::kGqpSp),
+                      EngineMode::kSpPull, EngineMode::kSpAdaptive,
+                      EngineMode::kGqp, EngineMode::kGqpSp),
     [](const auto& info) {
       std::string name(EngineModeToString(info.param));
       for (auto& c : name) {
