@@ -1,0 +1,171 @@
+// Ablation G: the SP spill tier — memory budget x slow-reader lag.
+//
+// A pull host's retained window is the distance between production and the
+// slowest reader. PR 1 bounded it only by reclamation, so one laggard
+// pinned the whole result in RAM; the SpBudgetGovernor caps the in-memory
+// window and overflows the rest to a temp spill file, trading fault-back
+// latency for bounded memory. This bench sweeps that trade directly on a
+// sharing channel: a host that keeps pace, a slow reader held exactly L
+// pages behind the producer, and a governor budget B. Reported per cell:
+// wall time, pages spilled, fault-back reads, and the in-memory /
+// spill-bytes high-water marks.
+//
+// Expected shape: unbounded (B=0) is the PR 1 baseline — the open attach
+// window retains the full result in RAM (retained.hwm = page count) no
+// matter how the readers move. With a budget, retained.hwm is capped near
+// B; the overflow spills, and fault-back reads appear only for the pages
+// a laggard still needed after they spilled (lag = 0 drains everything
+// while resident, so spilled history dies unread at seal).
+//
+// SHARING_BENCH_SF scales the page count; SHARING_BENCH_JSON=<path> also
+// emits the sweep as JSON (ci/verify.sh records BENCH_spill.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "qpipe/sharing_channel.h"
+
+using namespace sharing;
+using namespace sharing::bench;
+
+namespace {
+
+constexpr std::size_t kRowWidth = 64;
+constexpr std::size_t kRowsPerPage = 128;  // 8 KiB of row bytes per page
+
+PageRef MakePage(int64_t tag) {
+  auto page = std::make_shared<RowPage>(kRowWidth, kRowWidth * kRowsPerPage);
+  for (std::size_t r = 0; r < kRowsPerPage; ++r) {
+    uint8_t* slot = page->AppendSlot();
+    for (std::size_t b = 0; b < kRowWidth; ++b) {
+      slot[b] = static_cast<uint8_t>(tag + 31 * r + b);
+    }
+  }
+  return page;
+}
+
+struct CellResult {
+  double wall_ms = 0;
+  int64_t spilled = 0;
+  int64_t unspills = 0;
+  int64_t retained_hwm = 0;
+  int64_t spill_bytes_hwm = 0;
+};
+
+/// One sweep cell: produce `pages` through a pull channel whose slow
+/// reader trails the producer by exactly `lag` pages, under budget
+/// `budget` (0 = unbounded).
+CellResult RunCell(std::size_t pages, std::size_t lag, std::size_t budget) {
+  MetricsRegistry metrics;
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  if (budget > 0) {
+    SpBudgetGovernor::Options gopts;
+    gopts.budget_pages = budget;
+    gopts.metrics = &metrics;
+    options.governor = SpBudgetGovernor::Create(std::move(gopts));
+  }
+  auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+  auto host = channel->AttachReader();
+  auto slow = channel->AttachReader();
+
+  Stopwatch wall;
+  std::size_t slow_read = 0;
+  for (std::size_t i = 0; i < pages; ++i) {
+    channel->Put(MakePage(static_cast<int64_t>(i)));
+    host->Next();
+    // Hold the slow reader exactly `lag` pages behind production.
+    while (i + 1 > lag + slow_read) {
+      slow->Next();
+      ++slow_read;
+    }
+  }
+  channel->Close(Status::OK());
+  while (host->Next() != nullptr) {
+  }
+  while (slow->Next() != nullptr) {
+  }
+
+  CellResult result;
+  result.wall_ms = wall.ElapsedSeconds() * 1e3;
+  MetricsSnapshot snap = metrics.Snapshot();
+  result.spilled = snap[metrics::kSpPagesSpilled];
+  result.unspills = snap[metrics::kSpUnspillReads];
+  result.retained_hwm = snap[std::string(metrics::kSpPagesRetained) + ".hwm"];
+  result.spill_bytes_hwm = snap[std::string(metrics::kSpSpillBytes) + ".hwm"];
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const double sf = ScaleFactor(1.0);
+  const std::size_t pages =
+      std::max<std::size_t>(64, static_cast<std::size_t>(4096 * sf));
+
+  const std::vector<std::size_t> budgets = {0, 256, 64, 16};
+  std::vector<std::size_t> lags = {0, 128, 512};
+  lags.push_back(pages);  // fully stalled until the producer closes
+
+  PrintHeader("Ablation G: SP memory budget x slow-reader lag (spill tier)");
+  std::printf("pages=%zu (%zu KiB each); budget in pages; lag = pages the\n",
+              pages, kRowWidth * kRowsPerPage / 1024);
+  std::printf("slow reader trails the producer (last = stalled).\n\n");
+  std::printf("%-10s %-8s %10s %10s %10s %13s %16s\n", "budget", "lag",
+              "wall(ms)", "spilled", "unspills", "retained.hwm",
+              "spill-bytes.hwm");
+
+  std::FILE* json = nullptr;
+  if (const char* path = std::getenv("SHARING_BENCH_JSON")) {
+    json = std::fopen(path, "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for JSON output\n", path);
+      return 1;
+    }
+    std::fprintf(json, "[\n");
+  }
+
+  bool first = true;
+  for (std::size_t budget : budgets) {
+    for (std::size_t lag : lags) {
+      CellResult r = RunCell(pages, lag, budget);
+      std::string budget_label =
+          budget == 0 ? "unbounded" : std::to_string(budget);
+      std::printf("%-10s %-8zu %10.1f %10lld %10lld %13lld %16lld\n",
+                  budget_label.c_str(), lag, r.wall_ms,
+                  static_cast<long long>(r.spilled),
+                  static_cast<long long>(r.unspills),
+                  static_cast<long long>(r.retained_hwm),
+                  static_cast<long long>(r.spill_bytes_hwm));
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "%s  {\"budget_pages\": %zu, \"lag_pages\": %zu, "
+                     "\"pages\": %zu, \"wall_ms\": %.3f, "
+                     "\"pages_spilled\": %lld, \"unspill_reads\": %lld, "
+                     "\"retained_hwm\": %lld, \"spill_bytes_hwm\": %lld}",
+                     first ? "" : ",\n", budget, lag, pages, r.wall_ms,
+                     static_cast<long long>(r.spilled),
+                     static_cast<long long>(r.unspills),
+                     static_cast<long long>(r.retained_hwm),
+                     static_cast<long long>(r.spill_bytes_hwm));
+        first = false;
+      }
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+  }
+
+  std::printf(
+      "\nExpected shape: with no budget the open attach window retains\n"
+      "the whole result in RAM (retained.hwm = page count). With a\n"
+      "budget, retained.hwm is capped near the budget; the overflow\n"
+      "spills, and unspills appear only for pages a laggard still needed\n"
+      "after they spilled — lag 0 reads everything while resident, so\n"
+      "its spilled history is deleted unread at seal.\n");
+  return 0;
+}

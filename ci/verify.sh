@@ -18,6 +18,12 @@ run_suite() {
 echo "=== tier-1: release build + ctest ==="
 run_suite build
 
+echo "=== spill ablation (smoke) -> BENCH_spill.json ==="
+# A small sweep so every verify run records spill-regime numbers; the
+# perf trajectory lives in BENCH_spill.json (budget x slow-reader lag).
+SHARING_BENCH_SF=0.05 SHARING_BENCH_JSON=BENCH_spill.json \
+  ./build/bench_ablation_spill
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "=== tier-1 under AddressSanitizer ==="
   run_suite build-asan -DSHARING_ASAN=ON

@@ -1,0 +1,108 @@
+// The SP memory governor in action: a pull-model sharing session with a
+// stalled satellite, run once without a budget (the laggard pins the
+// host's whole result in RAM) and once with one (overflow spills to a
+// temp file and faults back bit-exactly when the laggard finally reads).
+//
+//   ./spill_demo [budget_pages] [scale_factor]
+//
+// Watch sp.pages_retained.hwm: unbounded it tracks the result size;
+// budgeted it is capped at the budget while sp.pages_spilled /
+// sp.spill_bytes absorb the rest — and both gauges return to zero after
+// the stalled reader drains.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sharing_engine.h"
+#include "workload/tpch.h"
+
+using namespace sharing;
+
+namespace {
+
+int64_t Metric(Database& db, const char* name) {
+  return db.metrics()->Snapshot()[name];
+}
+
+void PrintSpState(Database& db, const char* when) {
+  std::printf("  [%s]\n", when);
+  std::printf("    sp.pages_retained      = %lld (hwm %lld)\n",
+              static_cast<long long>(Metric(db, metrics::kSpPagesRetained)),
+              static_cast<long long>(
+                  Metric(db, std::string(std::string(metrics::kSpPagesRetained) +
+                                         ".hwm")
+                                 .c_str())));
+  std::printf("    sp.pages_spilled       = %lld\n",
+              static_cast<long long>(Metric(db, metrics::kSpPagesSpilled)));
+  std::printf("    sp.spill_bytes         = %lld\n",
+              static_cast<long long>(Metric(db, metrics::kSpSpillBytes)));
+  std::printf("    sp.unspill_reads       = %lld\n",
+              static_cast<long long>(Metric(db, metrics::kSpUnspillReads)));
+}
+
+int RunOnce(std::size_t budget, double sf) {
+  DatabaseOptions db_options;
+  db_options.buffer_pool_frames = 65536;
+  Database db(db_options);
+  auto table = tpch::GenerateLineitem(db.catalog(), db.buffer_pool(), sf);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  QPipeOptions options = QPipeOptions::AllSp(SpMode::kPull);
+  options.sp_memory_budget = budget;
+  QPipeEngine engine(db.catalog(), options, db.metrics());
+
+  std::printf("\n=== sp_memory_budget = %s ===\n",
+              budget == 0 ? "unbounded" : std::to_string(budget).c_str());
+
+  // A host and a satellite sharing one scan (Q1's input — a page count
+  // worth budgeting); the satellite stalls until the host has fully
+  // drained, the worst case for pull retention.
+  PlanNodeRef scan = tpch::MakeQ1Plan(90)->children()[0];
+  QueryHandle host = engine.Submit(scan);
+  QueryHandle stalled = engine.Submit(scan);
+  auto host_result = host.Collect();
+  if (!host_result.ok()) {
+    std::fprintf(stderr, "%s\n", host_result.status().ToString().c_str());
+    return 1;
+  }
+  PrintSpState(db, "host drained, satellite stalled");
+
+  auto late_result = stalled.Collect();
+  if (!late_result.ok()) {
+    std::fprintf(stderr, "%s\n", late_result.status().ToString().c_str());
+    return 1;
+  }
+  bool equal =
+      host_result.value().CanonicalRows() == late_result.value().CanonicalRows();
+  std::printf("  stalled reader drained: %zu rows, %s the host's result\n",
+              late_result.value().num_rows(),
+              equal ? "bit-identical to" : "DIFFERENT FROM");
+  PrintSpState(db, "all readers drained");
+  return equal ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t budget =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 16;
+  double sf = argc > 2 ? std::atof(argv[2]) : 0.02;
+
+  std::printf("TPC-H lineitem at SF=%.3f; pull-SP session with a stalled\n",
+              sf);
+  std::printf("satellite, without and with the SP memory governor.\n");
+
+  int rc = RunOnce(0, sf);        // PR 1 baseline: retention tracks result
+  if (rc == 0) rc = RunOnce(budget, sf);  // governed: capped + spill
+  if (rc == 0) {
+    std::printf(
+        "\nExpected shape: unbounded retention's high-water mark tracks\n"
+        "the scan's page count; the governed run caps it at the budget,\n"
+        "spills the overflow, and frees every spill byte after the\n"
+        "stalled reader drains — same bit-exact result either way.\n");
+  }
+  return rc;
+}

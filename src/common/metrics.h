@@ -159,6 +159,9 @@ inline constexpr const char* kSpPagesShared = "sp.pages_shared";
 inline constexpr const char* kSpBytesCopied = "sp.bytes_copied";
 inline constexpr const char* kSpPagesRetained = "sp.pages_retained";  // gauge
 inline constexpr const char* kSpPagesReclaimed = "sp.pages_reclaimed";
+inline constexpr const char* kSpPagesSpilled = "sp.pages_spilled";
+inline constexpr const char* kSpSpillBytes = "sp.spill_bytes";  // gauge
+inline constexpr const char* kSpUnspillReads = "sp.unspill_reads";
 inline constexpr const char* kCjoinFactTuplesIn = "cjoin.fact_tuples_in";
 inline constexpr const char* kCjoinTuplesOut = "cjoin.tuples_out";
 inline constexpr const char* kCjoinTuplesDropped = "cjoin.tuples_dropped";

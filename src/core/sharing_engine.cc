@@ -30,6 +30,8 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.stage_max_workers = config_.stage_max_workers;
   qopts.fifo_capacity = config_.fifo_capacity;
   qopts.adaptive = config_.adaptive;
+  qopts.sp_memory_budget = config_.sp_memory_budget;
+  qopts.sp_spill_path = config_.sp_spill_path;
   qpipe_ = std::make_unique<QPipeEngine>(db_->catalog(), qopts,
                                          db_->metrics());
 
@@ -40,6 +42,11 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
     Stage::Options sopts;
     sopts.initial_workers = config_.stage_workers;
     sopts.fifo_capacity = config_.fifo_capacity;
+    // The CJOIN stage shares the engine's adaptive thresholds and memory
+    // governor: its sharing sessions count against the same SP budget
+    // and spill through the same store as every QPipe stage.
+    sopts.adaptive = config_.adaptive;
+    sopts.governor = qpipe_->sp_governor();
     cjoin_stage_ = AttachCJoinToEngine(qpipe_.get(), pipeline_.get(), sopts);
   }
 
@@ -79,7 +86,11 @@ void SharingEngine::SetMode(EngineMode mode) {
   }
 
   if (cjoin_stage_ != nullptr) {
-    cjoin_stage_->SetSpMode(mode == EngineMode::kGqpSp ? SpMode::kPull
+    // Shared CJOIN runs adaptive, not pull-only: star-join sessions get
+    // the same per-packet off/push/pull choice (and the pull+spill tier)
+    // as every other stage. Attaching to an in-flight identical star
+    // packet stays free in either transport.
+    cjoin_stage_->SetSpMode(mode == EngineMode::kGqpSp ? SpMode::kAdaptive
                                                        : SpMode::kOff);
   }
 

@@ -54,6 +54,16 @@ struct EngineConfig {
   /// or any stage later switched to SpMode::kAdaptive).
   AdaptiveSpPolicy adaptive;
 
+  /// Engine-wide in-memory SP page budget for pull-model retention
+  /// (0 = unbounded). Over budget, sharing channels spill
+  /// already-consumed pages to a temp file and fault them back on
+  /// demand — the memory/latency trade of the spill tier (DESIGN.md
+  /// decision #7).
+  std::size_t sp_memory_budget = 0;
+
+  /// Backing file for spilled SP pages; empty picks a unique temp file.
+  std::string sp_spill_path;
+
   /// CJOIN configuration; the pipeline is built iff `fact_table` is
   /// non-empty (GQP modes require it).
   std::string fact_table;

@@ -24,11 +24,20 @@ void QueryHandle::Cancel() {
 QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
                          MetricsRegistry* metrics)
     : catalog_(catalog), options_(options), metrics_(metrics) {
+  if (options_.sp_memory_budget > 0) {
+    SpBudgetGovernor::Options gopts;
+    gopts.budget_pages = options_.sp_memory_budget;
+    gopts.spill_path = options_.sp_spill_path;
+    gopts.metrics = metrics_;
+    sp_governor_ = SpBudgetGovernor::Create(std::move(gopts));
+  }
+
   Stage::Options base;
   base.initial_workers = options_.stage_workers;
   base.max_workers = options_.stage_max_workers;
   base.fifo_capacity = options_.fifo_capacity;
   base.adaptive = options_.adaptive;
+  base.governor = sp_governor_;
 
   Stage::Options o = base;
   o.sp_mode = options_.scan_sp;

@@ -45,6 +45,16 @@ struct QPipeOptions {
   /// applied to every stage running in adaptive mode.
   AdaptiveSpPolicy adaptive;
 
+  /// Engine-wide in-memory SP page budget (pull-model retention across
+  /// every stage's sharing channels). 0 = unbounded. When the budget is
+  /// exceeded, SPLs migrate retained pages to a temp spill file and
+  /// fault them back on demand, so one stalled satellite no longer pins
+  /// a host's whole result in RAM (see sp_budget_governor.h).
+  std::size_t sp_memory_budget = 0;
+
+  /// Backing file for spilled SP pages; empty picks a unique temp file.
+  std::string sp_spill_path;
+
   /// Applies `mode` to all four stages.
   static QPipeOptions AllSp(SpMode mode) {
     QPipeOptions o;
@@ -103,6 +113,12 @@ class QPipeEngine {
   AggStage* agg_stage() { return agg_.get(); }
   SortStage* sort_stage() { return sort_.get(); }
 
+  /// The engine-wide SP memory governor; null when
+  /// QPipeOptions::sp_memory_budget is 0.
+  const std::shared_ptr<SpBudgetGovernor>& sp_governor() const {
+    return sp_governor_;
+  }
+
   /// Reconfigures SP for all stages at run time (the demo GUI's
   /// per-stage SP checkboxes).
   void SetSpModeAllStages(SpMode mode);
@@ -134,6 +150,7 @@ class QPipeEngine {
   QPipeOptions options_;
   MetricsRegistry* metrics_;
 
+  std::shared_ptr<SpBudgetGovernor> sp_governor_;
   std::unique_ptr<TscanStage> tscan_;
   std::unique_ptr<JoinStage> join_;
   std::unique_ptr<AggStage> agg_;

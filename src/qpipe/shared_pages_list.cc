@@ -7,8 +7,11 @@
 namespace sharing {
 
 SharedPagesList::~SharedPagesList() {
-  // Whatever survived reclamation is released now; keep the gauge honest.
-  pages_retained_->Sub(static_cast<int64_t>(pages_.size()));
+  // Whatever survived reclamation is released now; keep the gauge (and
+  // the governor's engine-wide account) honest. Spilled slots free their
+  // disk chains as the refs die.
+  pages_retained_->Sub(static_cast<int64_t>(in_memory_));
+  if (governor_ != nullptr) governor_->OnPagesReleased(in_memory_);
 }
 
 std::size_t SharedPagesList::Append(PageRef page) {
@@ -20,12 +23,18 @@ std::size_t SharedPagesList::Append(PageRef page) {
       // Everyone who was (or could ever be) interested has walked away.
       return 0;
     }
-    pages_.push_back(std::move(page));
-    total = base_ + pages_.size();
+    slots_.push_back(Slot{std::move(page), nullptr, false});
+    ++in_memory_;
+    total = base_ + slots_.size();
     pages_shared_->Increment();
     pages_retained_->Add(1);
+    if (governor_ != nullptr) governor_->OnPagesRetained(1);
   }
   cv_.notify_all();
+  // Budget enforcement happens with no list lock held: the governor may
+  // shed this list's pages, another channel's drained history, or (last
+  // resort) our unread tail — see SpBudgetGovernor::Rebalance.
+  if (governor_ != nullptr) governor_->Rebalance(this);
   return total;
 }
 
@@ -70,56 +79,165 @@ SharedPagesList::Snapshot SharedPagesList::GetSnapshot() const {
   Snapshot snap;
   snap.ever_attached = ever_attached_;
   snap.active_readers = readers_.size();
-  snap.total_appended = base_ + pages_.size();
+  snap.total_appended = base_ + slots_.size();
   snap.min_reader_position = MinReaderPositionLocked();
   snap.closed = closed_;
   return snap;
 }
 
 std::size_t SharedPagesList::MinReaderPositionLocked() const {
-  std::size_t min_pos = base_ + pages_.size();
+  std::size_t min_pos = base_ + slots_.size();
   for (const SplReader* reader : readers_) {
     min_pos = std::min(min_pos, reader->cursor_);
   }
   return min_pos;
 }
 
+std::size_t SharedPagesList::MaxReaderPositionLocked() const {
+  std::size_t max_pos = 0;
+  for (const SplReader* reader : readers_) {
+    max_pos = std::max(max_pos, reader->cursor_);
+  }
+  return max_pos;
+}
+
 void SharedPagesList::MaybeReclaimLocked() {
   if (!sealed_) return;  // a late attacher could still need the history
   const std::size_t min_pos = MinReaderPositionLocked();
   int64_t freed = 0;
-  while (base_ < min_pos && !pages_.empty()) {
-    pages_.pop_front();
+  int64_t freed_resident = 0;
+  while (base_ < min_pos && !slots_.empty()) {
+    if (slots_.front().page != nullptr) ++freed_resident;
+    // A spilled slot's chain is deleted unread: dropping the last
+    // SpilledPageRef returns its disk pages to the free list.
+    slots_.pop_front();
     ++base_;
     ++freed;
   }
   if (freed > 0) {
     pages_reclaimed_->Add(freed);
-    pages_retained_->Sub(freed);
+    pages_retained_->Sub(freed_resident);
+    in_memory_ -= static_cast<std::size_t>(freed_resident);
+    if (governor_ != nullptr && freed_resident > 0) {
+      governor_->OnPagesReleased(static_cast<std::size_t>(freed_resident));
+    }
   }
+}
+
+std::size_t SharedPagesList::ShedForBudget(std::size_t max_pages,
+                                           SpillTier tier) {
+  if (max_pages == 0) return 0;
+  // Victims are selected (and marked) under the lock, serialized outside
+  // it, and installed under the lock again, so readers keep consuming
+  // resident pages — including the victims — while the spill I/O runs.
+  struct Victim {
+    std::size_t pos;  // absolute position (survives base_ shifts)
+    PageRef page;
+  };
+  std::vector<Victim> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slots_.empty()) return 0;
+    // Within the allowed tiers, best fault-in odds first: drained
+    // history (re-read only by a late attacher, deleted unread at seal
+    // otherwise), then consumed-but-not-drained newest first (a laggard
+    // reaches those last — Belady-ish), then the unread tail newest
+    // first.
+    const std::size_t end = slots_.size();
+    std::size_t consumed_end;
+    std::size_t drained_end;
+    if (readers_.empty()) {
+      // Every reader cancelled (or none attached yet): the retained
+      // window can only ever serve a late attacher, which is exactly the
+      // drained tier — not a last-resort unread tail.
+      drained_end = consumed_end = end;
+    } else {
+      const std::size_t max_pos = MaxReaderPositionLocked();
+      consumed_end = max_pos > base_ ? std::min(max_pos - base_, end) : 0;
+      const std::size_t min_pos = MinReaderPositionLocked();
+      drained_end =
+          min_pos > base_ ? std::min(min_pos - base_, consumed_end) : 0;
+    }
+    auto collect = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = hi; i-- > lo && victims.size() < max_pages;) {
+        Slot& slot = slots_[i];
+        if (slot.page == nullptr || slot.spilling) continue;
+        slot.spilling = true;
+        victims.push_back(Victim{base_ + i, slot.page});
+      }
+    };
+    collect(0, drained_end);
+    if (tier != SpillTier::kDrained) collect(drained_end, consumed_end);
+    if (tier == SpillTier::kUnread) collect(consumed_end, end);
+  }
+  if (victims.empty()) return 0;
+
+  std::vector<SpilledPageRef> spilled(victims.size());
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    spilled[v] = governor_->Spill(*victims[v].page);  // nullptr on failure
+  }
+
+  std::size_t shed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t v = 0; v < victims.size(); ++v) {
+      const std::size_t pos = victims[v].pos;
+      // Reclaimed mid-spill: the fresh chain dies with its unowned ref
+      // (freed unread), nothing to install.
+      if (pos < base_) continue;
+      Slot& slot = slots_[pos - base_];
+      slot.spilling = false;
+      if (spilled[v] == nullptr) continue;  // spill store unavailable
+      slot.page = nullptr;
+      slot.spilled = std::move(spilled[v]);
+      ++shed;
+    }
+    in_memory_ -= shed;
+    pages_retained_->Sub(static_cast<int64_t>(shed));
+  }
+  if (shed > 0) governor_->OnPagesReleased(shed);
+  return shed;
 }
 
 PageRef SplReader::Next() {
   std::unique_lock<std::mutex> lock(list_->mutex_);
   list_->cv_.wait(lock, [&] {
-    return cancelled_ || cursor_ < list_->base_ + list_->pages_.size() ||
+    return cancelled_ || cursor_ < list_->base_ + list_->slots_.size() ||
            list_->closed_;
   });
-  if (cancelled_ || cursor_ >= list_->base_ + list_->pages_.size()) {
+  if (cancelled_ || cursor_ >= list_->base_ + list_->slots_.size()) {
     return nullptr;
   }
   SHARING_CHECK(cursor_ >= list_->base_)
       << "reader cursor points at a reclaimed page";
-  PageRef page = list_->pages_[cursor_ - list_->base_];
+  const SharedPagesList::Slot& slot = list_->slots_[cursor_ - list_->base_];
+  PageRef page = slot.page;
+  SpilledPageRef spilled = slot.spilled;
   ++cursor_;
   // Only the reader leaving the reclamation frontier can raise the min
   // cursor; everyone else would scan the reader list for a no-op.
   if (cursor_ - 1 == list_->base_) list_->MaybeReclaimLocked();
-  return page;
+  if (page != nullptr) return page;
+
+  // Fault-back, outside the list lock: the SpilledPageRef pins the disk
+  // chain even if reclamation drops the slot concurrently, and the
+  // governor's store serializes its own I/O.
+  auto governor = list_->governor_;
+  lock.unlock();
+  auto page_or = governor->Unspill(*spilled);
+  if (!page_or.ok()) {
+    SHARING_LOG(Error) << "SPL fault-back failed: "
+                       << page_or.status().ToString();
+    lock.lock();
+    if (error_.ok()) error_ = page_or.status();
+    return nullptr;
+  }
+  return page_or.value();
 }
 
 Status SplReader::FinalStatus() const {
   std::lock_guard<std::mutex> lock(list_->mutex_);
+  if (!error_.ok()) return error_;
   if (cancelled_) return Status::Aborted("reader cancelled");
   return list_->final_;
 }

@@ -9,14 +9,28 @@
 // from the beginning (this is what widens SP's sharing window in pull
 // mode).
 //
-// Memory: the SPL reclaims pages incrementally, as in the original paper.
-// While the attach window is open a late consumer may still need the full
-// history, so nothing is freed; once SealAttachWindow() is called (the
-// PullChannel seals when the producer closes) a page is dropped as soon as
-// every attached reader has moved past it. The pages currently retained
-// are tracked by the `sp.pages_retained` gauge, so bounded memory is
-// observable: the gauge returns to zero after all readers drain instead of
-// growing with result size. See DESIGN.md for the policy decision list.
+// Memory, two tiers:
+//  * Reclamation (as in the original paper): while the attach window is
+//    open a late consumer may still need the full history, so nothing is
+//    freed; once SealAttachWindow() is called (the PullChannel seals when
+//    the producer closes) a page is dropped as soon as every attached
+//    reader has moved past it.
+//  * Spill (the SpBudgetGovernor tier): reclamation alone lets one
+//    stalled reader pin the whole result in RAM. With a governor
+//    configured, whenever the engine-wide in-memory SP page count exceeds
+//    the budget the governor rebalances across *every* registered list
+//    (ShedForBudget): drained and already-consumed pages anywhere spill
+//    first — an idle channel's cold history beats thrashing the active
+//    producer's fresh pages — and the I/O runs outside the list lock.
+//    A spilled page faults back bit-exactly on Next(); once every reader
+//    passes it, reclamation deletes it unread. Spilling never needs the
+//    window sealed: a late attacher is served spilled history via
+//    fault-back.
+//
+// The pages currently memory-resident are tracked by the
+// `sp.pages_retained` gauge (spilled pages move to `sp.spill_bytes`), so
+// bounded memory is observable: both return to zero after all readers
+// drain. See DESIGN.md for the policy decision list.
 
 #pragma once
 
@@ -29,17 +43,35 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "exec/page_stream.h"
+#include "qpipe/sp_budget_governor.h"
 
 namespace sharing {
 
 class SplReader;
 
+/// How deep a ShedForBudget pass may reach into a list's retained pages.
+/// Tiers order victims by fault-in odds: drained open-window history is
+/// re-read only by a late attacher; consumed-but-not-drained pages will
+/// be read by a laggard; unread pages will be read next.
+enum class SpillTier {
+  kDrained,   // only pages every reader has passed
+  kConsumed,  // + pages the fastest reader consumed (laggard still needs)
+  kUnread,    // + the unread tail (hard-bound last resort)
+};
+
 class SharedPagesList
     : public std::enable_shared_from_this<SharedPagesList> {
  public:
   static std::shared_ptr<SharedPagesList> Create(
-      MetricsRegistry* metrics = &MetricsRegistry::Global()) {
-    return std::shared_ptr<SharedPagesList>(new SharedPagesList(metrics));
+      MetricsRegistry* metrics = &MetricsRegistry::Global(),
+      std::shared_ptr<SpBudgetGovernor> governor = nullptr) {
+    auto list = std::shared_ptr<SharedPagesList>(
+        new SharedPagesList(metrics, std::move(governor)));
+    // Registration makes this list a shed candidate for engine-wide
+    // rebalancing (another channel's append may spill our drained
+    // history rather than thrash its own fresh pages).
+    if (list->governor_ != nullptr) list->governor_->Register(list);
+    return list;
   }
 
   ~SharedPagesList();
@@ -49,7 +81,8 @@ class SharedPagesList
   /// Producer: appends a page (no copy — all readers share it). Returns
   /// the total pages appended so far, or 0 when no reader can ever
   /// observe it (every reader cancelled, or the window is sealed with
-  /// none attached), signalling the producer to stop early.
+  /// none attached), signalling the producer to stop early. May spill
+  /// retained pages when the governor reports budget pressure.
   std::size_t Append(PageRef page);
 
   /// Producer: seals the list with a terminal status.
@@ -72,16 +105,23 @@ class SharedPagesList
     return closed_;
   }
 
-  /// Pages currently retained (appended minus reclaimed).
+  /// Pages currently retained (appended minus reclaimed), resident or
+  /// spilled.
   std::size_t NumPages() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return pages_.size();
+    return slots_.size();
+  }
+
+  /// Retained pages currently memory-resident (excludes spilled).
+  std::size_t InMemoryPages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_memory_;
   }
 
   /// Pages ever appended, including reclaimed ones.
   std::size_t TotalAppended() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return base_ + pages_.size();
+    return base_ + slots_.size();
   }
 
   std::size_t ActiveReaders() const {
@@ -98,6 +138,15 @@ class SharedPagesList
   /// TotalAppended() when no reader is active.
   std::size_t MinReaderPosition() const;
 
+  /// Governor callback: migrates up to `max_pages` resident pages no
+  /// deeper than `tier` to the spill store and returns how many were
+  /// shed. Within the allowed tiers victims are taken best fault-in odds
+  /// first (drained, then consumed newest-first, then unread
+  /// newest-first — see SpillTier). The spill I/O runs OUTSIDE the list
+  /// lock: victims stay readable while being written, and a slot
+  /// reclaimed mid-spill just drops the fresh chain.
+  std::size_t ShedForBudget(std::size_t max_pages, SpillTier tier);
+
   /// A mutually consistent view of the list, taken under one lock.
   struct Snapshot {
     std::size_t ever_attached = 0;
@@ -111,27 +160,44 @@ class SharedPagesList
  private:
   friend class SplReader;
 
-  explicit SharedPagesList(MetricsRegistry* metrics)
+  /// A retained position: exactly one of `page` (memory tier) or
+  /// `spilled` (disk tier) is set. `spilling` marks a victim whose
+  /// serialization is in flight off-lock (still readable; not a
+  /// candidate for a second concurrent shed).
+  struct Slot {
+    PageRef page;
+    SpilledPageRef spilled;
+    bool spilling = false;
+  };
+
+  SharedPagesList(MetricsRegistry* metrics,
+                  std::shared_ptr<SpBudgetGovernor> governor)
       : pages_shared_(metrics->GetCounter(metrics::kSpPagesShared)),
         pages_reclaimed_(metrics->GetCounter(metrics::kSpPagesReclaimed)),
-        pages_retained_(metrics->GetGauge(metrics::kSpPagesRetained)) {}
+        pages_retained_(metrics->GetGauge(metrics::kSpPagesRetained)),
+        governor_(std::move(governor)) {}
 
   std::size_t MinReaderPositionLocked() const;
+  std::size_t MaxReaderPositionLocked() const;
 
   /// Frees every page all readers have passed. Only legal once the attach
   /// window is sealed (a future reader could otherwise miss history).
+  /// Spilled slots are deleted without being re-read.
   void MaybeReclaimLocked();
 
   Counter* pages_shared_;
   Counter* pages_reclaimed_;
   Gauge* pages_retained_;
+  std::shared_ptr<SpBudgetGovernor> governor_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  /// Retained pages; pages_[i] holds the page appended at position
+  /// Retained pages; slots_[i] holds the page appended at position
   /// base_ + i (positions below base_ have been reclaimed).
-  std::deque<PageRef> pages_;
+  std::deque<Slot> slots_;
   std::size_t base_ = 0;
+  /// Resident slots (slots_ minus spilled); drives governor accounting.
+  std::size_t in_memory_ = 0;
   bool closed_ = false;
   bool sealed_ = false;
   Status final_;
@@ -147,6 +213,8 @@ class SplReader final : public PageSource {
   SHARING_DISALLOW_COPY_AND_MOVE(SplReader);
 
   /// Blocks for the page at this reader's cursor; nullptr at end-of-list.
+  /// A spilled page is faulted back from the governor's store (bit-exact
+  /// reconstruction, charged to sp.unspill_reads).
   PageRef Next() override;
 
   Status FinalStatus() const override;
@@ -168,6 +236,8 @@ class SplReader final : public PageSource {
   std::shared_ptr<SharedPagesList> list_;
   std::size_t cursor_ = 0;
   bool cancelled_ = false;
+  /// Sticky fault-back failure; surfaced through FinalStatus.
+  Status error_;
 };
 
 }  // namespace sharing

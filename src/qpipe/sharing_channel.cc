@@ -171,7 +171,7 @@ class PullChannel final : public SharingChannel {
  public:
   explicit PullChannel(SharingChannelOptions options)
       : options_(std::move(options)),
-        spl_(SharedPagesList::Create(options_.metrics)) {}
+        spl_(SharedPagesList::Create(options_.metrics, options_.governor)) {}
 
   PageSourceRef AttachReader() override { return spl_->AttachReader(); }
 

@@ -15,14 +15,15 @@
 //  * pull (PullChannel): the paper's Shared Pages List. Pages are appended
 //    once and readers share references at their own pace; the attach
 //    window stays open for the host's whole production and pages are
-//    reclaimed once every reader has passed them (bounded memory — see
-//    shared_pages_list.h and DESIGN.md).
+//    reclaimed once every reader has passed them. With an SpBudgetGovernor
+//    configured, retention beyond the engine-wide budget overflows to a
+//    spill file instead of RAM (bounded memory — see shared_pages_list.h,
+//    sp_budget_governor.h and DESIGN.md).
 //
 // Stage keeps a single signature -> SharingChannel registry, so admission
 // logic (including the adaptive per-packet policy) is independent of which
-// transport a session uses. Future transports (spill-to-disk channels,
-// NUMA-partitioned channels, remote shuffle) plug in behind the same
-// interface.
+// transport a session uses. Future transports (NUMA-partitioned channels,
+// remote shuffle) plug in behind the same interface.
 
 #pragma once
 
@@ -33,6 +34,7 @@
 #include "exec/page_stream.h"
 #include "qpipe/fifo_buffer.h"
 #include "qpipe/shared_pages_list.h"
+#include "qpipe/sp_budget_governor.h"
 #include "qpipe/sp_mode.h"
 
 namespace sharing {
@@ -72,6 +74,14 @@ struct SharingChannelOptions {
   std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
 
   MetricsRegistry* metrics = &MetricsRegistry::Global();
+
+  /// Engine-wide SP memory governor (pull channels only). When set and
+  /// enabled, the channel's SPL spills retained pages to the governor's
+  /// temp store whenever the engine-wide in-memory SP page count exceeds
+  /// the budget, instead of letting a slow reader pin the host's whole
+  /// result in RAM. Null: retention bounded only by reclamation (PR 1
+  /// behavior).
+  std::shared_ptr<SpBudgetGovernor> governor;
 
   /// Invoked exactly once, after the producer's Close has propagated to
   /// every reader. Receives the channel's closing stats (satellite count,

@@ -1,0 +1,253 @@
+#include "qpipe/sp_budget_governor.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "qpipe/shared_pages_list.h"
+
+namespace sharing {
+
+namespace {
+
+/// One spilled RowPage = a page_layout header (magic, row width/count,
+/// capacity in `reserved`) followed by the raw row bytes, split across as
+/// many fixed-size disk pages as it needs.
+std::size_t SerializedBytes(const RowPage& page) {
+  return page_layout::kHeaderBytes + page.data_bytes();
+}
+
+std::size_t ChainLength(std::size_t bytes) {
+  return (bytes + kPageBytes - 1) / kPageBytes;
+}
+
+std::string UniqueSpillPath() {
+  static std::atomic<uint64_t> seq{0};
+  std::error_code ec;
+  std::filesystem::path dir = std::filesystem::temp_directory_path(ec);
+  if (ec) dir = ".";
+  return (dir / ("sharing_sp_spill_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(seq.fetch_add(1)) + ".bin"))
+      .string();
+}
+
+}  // namespace
+
+SpilledPage::~SpilledPage() {
+  if (governor_ != nullptr) governor_->FreeChain(chain_, bytes_);
+}
+
+SpBudgetGovernor::SpBudgetGovernor(Options options)
+    : options_(std::move(options)),
+      pages_spilled_(options_.metrics->GetCounter(metrics::kSpPagesSpilled)),
+      unspill_reads_(options_.metrics->GetCounter(metrics::kSpUnspillReads)),
+      spill_bytes_(options_.metrics->GetGauge(metrics::kSpSpillBytes)) {}
+
+void SpBudgetGovernor::Register(std::weak_ptr<SharedPagesList> list) {
+  std::lock_guard<std::mutex> lock(lists_mutex_);
+  std::erase_if(lists_,
+                [](const std::weak_ptr<SharedPagesList>& w) {
+                  return w.expired();
+                });
+  lists_.push_back(std::move(list));
+}
+
+void SpBudgetGovernor::Rebalance(SharedPagesList* appender) {
+  // A failed spill store latches the governor off: rescanning every
+  // channel per append to shed zero pages would tax the engine forever.
+  if (store_failed_.load(std::memory_order_relaxed)) return;
+  if (ExcessPages() == 0) return;
+  std::vector<std::shared_ptr<SharedPagesList>> lists;
+  {
+    std::lock_guard<std::mutex> lock(lists_mutex_);
+    lists.reserve(lists_.size());
+    for (const auto& w : lists_) {
+      if (auto list = w.lock()) lists.push_back(std::move(list));
+    }
+  }
+  // Tier-major sweep: exhaust drained history engine-wide before touching
+  // any consumed-but-laggard-needed page anywhere, and those before any
+  // unread page — an idle channel's dead history must spill before the
+  // active channel refaults pages its readers still want. Within the
+  // drained/consumed tiers the appender goes first (cache-warm, most
+  // likely to have candidates); in the unread tier it goes last, because
+  // its fresh pages are read next while an idle channel's unread pages
+  // are read later. The engine-wide excess is re-sampled before every
+  // shed so concurrent rebalances from other appenders do not multiply
+  // the spill work.
+  for (SpillTier tier :
+       {SpillTier::kDrained, SpillTier::kConsumed, SpillTier::kUnread}) {
+    auto shed = [&](SharedPagesList* list) {
+      std::size_t excess = ExcessPages();
+      if (excess == 0) return false;
+      list->ShedForBudget(excess, tier);
+      return true;
+    };
+    if (tier != SpillTier::kUnread && !shed(appender)) return;
+    for (const auto& list : lists) {
+      if (list.get() == appender) continue;
+      if (!shed(list.get())) return;
+    }
+    if (tier == SpillTier::kUnread && !shed(appender)) return;
+  }
+}
+
+DiskManager* SpBudgetGovernor::EnsureStore() {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ != nullptr) return store_.get();
+  if (store_failed_.load(std::memory_order_relaxed)) return nullptr;
+  DiskOptions disk;
+  disk.read_latency_micros = options_.read_latency_micros;
+  disk.read_bandwidth_mib = options_.read_bandwidth_mib;
+  // Exclusive creation ("x"): two governors must never share one spill
+  // file — their DiskManagers would allocate overlapping PageIds and
+  // truncate/remove each other's chains, silently corrupting results.
+  // An explicit path that already exists fails loudly (degrades to "no
+  // spilling"); auto-generated paths retry with a fresh suffix. A bad
+  // path is probed here rather than handed to DiskManager, which aborts
+  // on an unopenable backing file.
+  if (options_.spill_path.empty()) {
+    for (int attempt = 0; attempt < 16 && disk.path.empty(); ++attempt) {
+      std::string candidate = UniqueSpillPath();
+      if (std::FILE* probe = std::fopen(candidate.c_str(), "wbx")) {
+        std::fclose(probe);
+        disk.path = std::move(candidate);
+      }
+    }
+  } else if (std::FILE* probe = std::fopen(options_.spill_path.c_str(),
+                                           "wbx")) {
+    std::fclose(probe);
+    disk.path = options_.spill_path;
+  }
+  if (disk.path.empty()) {
+    SHARING_LOG(Error) << "spill store unavailable at "
+                       << (options_.spill_path.empty() ? "<temp dir>"
+                                                       : options_.spill_path)
+                       << " (unwritable, or the file already exists — "
+                          "spill stores are never shared or truncated); "
+                          "SP memory budget disabled";
+    store_failed_.store(true, std::memory_order_relaxed);
+    return nullptr;
+  }
+  store_ = std::make_unique<DiskManager>(disk, options_.metrics);
+  return store_.get();
+}
+
+SpilledPageRef SpBudgetGovernor::Spill(const RowPage& page) {
+  if (store_failed_.load(std::memory_order_relaxed)) return nullptr;
+  DiskManager* store = EnsureStore();
+  if (store == nullptr) return nullptr;
+
+  const std::size_t bytes = SerializedBytes(page);
+  const std::size_t chain_len = ChainLength(bytes);
+  std::vector<PageId> chain;
+  chain.reserve(chain_len);
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    chain.push_back(store->AllocatePage());
+  }
+
+  // Stream the header + row bytes through a page-sized scratch frame.
+  uint8_t frame[kPageBytes];
+  page_layout::Header header;
+  header.magic = page_layout::kMagic;
+  header.row_width = static_cast<uint32_t>(page.row_width());
+  header.row_count = static_cast<uint32_t>(page.row_count());
+  header.reserved = static_cast<uint32_t>(page.capacity());
+
+  const uint8_t* data =
+      page.row_count() > 0 ? page.RowAt(0) : nullptr;
+  const std::size_t data_bytes = page.data_bytes();
+  std::size_t data_off = 0;
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    std::size_t frame_off = 0;
+    if (i == 0) {
+      std::memcpy(frame, &header, page_layout::kHeaderBytes);
+      frame_off = page_layout::kHeaderBytes;
+    }
+    const std::size_t take =
+        std::min(kPageBytes - frame_off, data_bytes - data_off);
+    if (take > 0) std::memcpy(frame + frame_off, data + data_off, take);
+    data_off += take;
+    frame_off += take;
+    if (frame_off < kPageBytes) {
+      std::memset(frame + frame_off, 0, kPageBytes - frame_off);
+    }
+    Status st = store->WritePage(chain[i], frame);
+    if (!st.ok()) {
+      // Latch off, exactly like a creation failure: a full spill
+      // filesystem does not heal mid-run, and without the latch every
+      // subsequent Append would re-select the same victims and re-issue
+      // the same failing writes across all channels forever.
+      SHARING_LOG(Error) << "spill write failed (" << st.ToString()
+                         << "); SP memory budget disabled";
+      store_failed_.store(true, std::memory_order_relaxed);
+      for (PageId id : chain) store->FreePage(id);
+      return nullptr;
+    }
+  }
+
+  pages_spilled_->Increment();
+  spill_bytes_->Add(static_cast<int64_t>(bytes));
+  return std::make_shared<SpilledPage>(
+      shared_from_this(), std::move(chain), header.row_width,
+      header.row_count, header.reserved, bytes);
+}
+
+StatusOr<PageRef> SpBudgetGovernor::Unspill(const SpilledPage& spilled) {
+  DiskManager* store;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    store = store_.get();
+  }
+  SHARING_CHECK(store != nullptr) << "unspill with no spill store";
+
+  // Capacity (not just row count) is restored so the faulted-back page is
+  // indistinguishable from the original to every accessor.
+  auto page = std::make_shared<RowPage>(
+      spilled.row_width(),
+      static_cast<std::size_t>(spilled.capacity()) * spilled.row_width());
+  for (uint32_t r = 0; r < spilled.row_count(); ++r) {
+    SHARING_CHECK(page->AppendSlot() != nullptr);
+  }
+  const std::size_t data_bytes =
+      static_cast<std::size_t>(spilled.row_count()) * spilled.row_width();
+  uint8_t* data = data_bytes > 0 ? page->MutableRowAt(0) : nullptr;
+
+  uint8_t frame[kPageBytes];
+  std::size_t data_off = 0;
+  for (std::size_t i = 0; i < spilled.chain().size(); ++i) {
+    Status st = store->ReadPage(spilled.chain()[i], frame);
+    if (!st.ok()) return st;
+    std::size_t frame_off = 0;
+    if (i == 0) {
+      const page_layout::Header* h = page_layout::GetHeader(frame);
+      if (h->magic != page_layout::kMagic ||
+          h->row_width != spilled.row_width() ||
+          h->row_count != spilled.row_count()) {
+        return Status::Internal("corrupt spilled page header");
+      }
+      frame_off = page_layout::kHeaderBytes;
+    }
+    // Rows are a contiguous byte stream that may straddle disk-page
+    // boundaries; copy the stream, not row by row.
+    const std::size_t take =
+        std::min(kPageBytes - frame_off, data_bytes - data_off);
+    if (take > 0) std::memcpy(data + data_off, frame + frame_off, take);
+    data_off += take;
+  }
+  unspill_reads_->Increment();
+  return PageRef(page);
+}
+
+void SpBudgetGovernor::FreeChain(const std::vector<PageId>& chain,
+                                 std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return;
+  for (PageId id : chain) store_->FreePage(id);
+  spill_bytes_->Sub(static_cast<int64_t>(bytes));
+}
+
+}  // namespace sharing

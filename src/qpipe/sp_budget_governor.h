@@ -1,0 +1,204 @@
+// SpBudgetGovernor: the engine-wide memory budget for pull-based SP.
+//
+// The SPL widens the sharing window by retaining produced pages for late
+// and slow consumers — a memory-for-sharing trade that PR 1 bounded only
+// by reclaiming behind the slowest reader. One stalled satellite therefore
+// still pinned the host's entire result in RAM. The governor closes that
+// hole: it accounts every in-memory SPL page across *all* sharing
+// channels of an engine against a configurable page budget, and when the
+// total exceeds the budget it directs channels to migrate
+// already-consumed but not-yet-drained pages to a temp file (spill tier).
+// Spilled pages fault back transparently on SplReader::Next() with
+// bit-exact contents, and are deleted — never re-read — once every reader
+// has passed them (the sealed-window reclamation contract).
+//
+// The governor owns the spill backing store: a lazily created DiskManager
+// over a unique temp file (removed on destruction). A RowPage spills as a
+// chain of fixed-size disk pages carrying a page_layout header (row
+// width/count/capacity) plus the raw row bytes, so the faulted-back page
+// is byte-identical to the original. Freed chains return to the
+// DiskManager free list, so the spill file is bounded by the live spilled
+// working set, not cumulative spill traffic.
+//
+// Observability: `sp.pages_spilled` (RowPages ever spilled),
+// `sp.spill_bytes` (bytes currently on the spill store; returns to zero
+// after readers drain) and `sp.unspill_reads` (fault-back reads).
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/status_or.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace sharing {
+
+class SharedPagesList;
+class SpBudgetGovernor;
+
+/// A RowPage migrated to the spill store: the disk-page chain holding its
+/// serialized bytes plus the metadata needed to reconstruct it exactly.
+/// Destruction frees the chain without reading it — dropping the last
+/// reference (reclamation, channel teardown) is how spilled pages die.
+class SpilledPage {
+ public:
+  SpilledPage(std::shared_ptr<SpBudgetGovernor> governor,
+              std::vector<PageId> chain, uint32_t row_width,
+              uint32_t row_count, uint32_t capacity, std::size_t bytes)
+      : governor_(std::move(governor)),
+        chain_(std::move(chain)),
+        row_width_(row_width),
+        row_count_(row_count),
+        capacity_(capacity),
+        bytes_(bytes) {}
+  ~SpilledPage();
+
+  SHARING_DISALLOW_COPY_AND_MOVE(SpilledPage);
+
+  const std::vector<PageId>& chain() const { return chain_; }
+  uint32_t row_width() const { return row_width_; }
+  uint32_t row_count() const { return row_count_; }
+  uint32_t capacity() const { return capacity_; }
+  /// Serialized size (header + row bytes); the unit of sp.spill_bytes.
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::shared_ptr<SpBudgetGovernor> governor_;
+  std::vector<PageId> chain_;
+  uint32_t row_width_;
+  uint32_t row_count_;
+  uint32_t capacity_;
+  std::size_t bytes_;
+};
+
+using SpilledPageRef = std::shared_ptr<const SpilledPage>;
+
+class SpBudgetGovernor
+    : public std::enable_shared_from_this<SpBudgetGovernor> {
+ public:
+  struct Options {
+    /// In-memory SP pages allowed across every channel sharing this
+    /// governor; 0 disables budgeting (channels never spill).
+    std::size_t budget_pages = 0;
+
+    /// Path of the spill backing file; empty picks a unique file in the
+    /// system temp directory. Created lazily on first spill (exclusively
+    /// — a path whose file already exists is refused, never shared or
+    /// truncated), removed when the governor dies.
+    std::string spill_path;
+
+    /// Latency model charged on fault-back reads (defaults to none: the
+    /// spill store is a local temp file, not the modeled 15kRPM array).
+    uint32_t read_latency_micros = 0;
+    uint32_t read_bandwidth_mib = 0;
+
+    MetricsRegistry* metrics = &MetricsRegistry::Global();
+  };
+
+  static std::shared_ptr<SpBudgetGovernor> Create(Options options) {
+    return std::shared_ptr<SpBudgetGovernor>(
+        new SpBudgetGovernor(std::move(options)));
+  }
+
+  SHARING_DISALLOW_COPY_AND_MOVE(SpBudgetGovernor);
+
+  bool enabled() const { return options_.budget_pages > 0; }
+  std::size_t budget_pages() const { return options_.budget_pages; }
+
+  /// Budgeting is configured AND the spill store works (creation and
+  /// writes have not latched it off) — i.e. the spill tier can actually
+  /// absorb overflow. The adaptive pull+spill preference checks this,
+  /// not enabled(): steering a high-retention session into pull on the
+  /// promise of a spill tier that cannot spill would recreate the
+  /// unbounded-RAM regime the governor exists to prevent.
+  bool usable() const {
+    return enabled() && !store_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Accounting hooks called by SharedPagesList as pages become (or stop
+  /// being) memory-resident. Spilling a page releases it; faulting one
+  /// back hands the reader a transient private copy and retains nothing.
+  void OnPagesRetained(std::size_t n) {
+    in_memory_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  }
+  void OnPagesReleased(std::size_t n) {
+    in_memory_.fetch_sub(static_cast<int64_t>(n), std::memory_order_relaxed);
+  }
+
+  /// In-memory SP pages currently beyond the budget — how many pages the
+  /// calling channel should shed. Zero when budgeting is disabled.
+  std::size_t ExcessPages() const {
+    if (!enabled()) return 0;
+    int64_t now = in_memory_.load(std::memory_order_relaxed);
+    int64_t budget = static_cast<int64_t>(options_.budget_pages);
+    return now > budget ? static_cast<std::size_t>(now - budget) : 0;
+  }
+
+  std::size_t InMemoryPages() const {
+    int64_t now = in_memory_.load(std::memory_order_relaxed);
+    return now > 0 ? static_cast<std::size_t>(now) : 0;
+  }
+
+  /// Registers a list as a shed candidate for Rebalance. Expired entries
+  /// are pruned opportunistically, so lists need not deregister.
+  void Register(std::weak_ptr<SharedPagesList> list);
+
+  /// Sheds in-memory pages engine-wide until the budget is met: the
+  /// appender's and then every registered list's already-consumed pages
+  /// first (drained open-window history anywhere beats thrashing fresh
+  /// pages), falling back to the appender's unread tail so the budget
+  /// stays a hard bound even when nothing has been read. Called by the
+  /// appending list with NO list locks held — each shed takes only its
+  /// own list's lock, and the spill I/O itself runs outside it.
+  void Rebalance(SharedPagesList* appender);
+
+  /// Serializes `page` to the spill store. Returns nullptr when the store
+  /// cannot be created or written (the caller keeps the page in memory —
+  /// over budget beats losing data). Does NOT touch the in-memory
+  /// accounting; the caller releases the page it spilled.
+  SpilledPageRef Spill(const RowPage& page);
+
+  /// Fault-back: reads a spilled page's chain and reconstructs a RowPage
+  /// bit-identical to the original. The chain stays allocated (other
+  /// readers may fault the same page); it is freed when the last
+  /// SpilledPageRef dies.
+  StatusOr<PageRef> Unspill(const SpilledPage& spilled);
+
+  /// Bytes currently held by the spill store (the sp.spill_bytes gauge).
+  int64_t SpillBytes() const { return spill_bytes_->Get(); }
+
+ private:
+  friend class SpilledPage;
+
+  explicit SpBudgetGovernor(Options options);
+
+  /// The spill store, created on first use. Returns nullptr on failure.
+  DiskManager* EnsureStore();
+
+  /// Called by ~SpilledPage: returns a chain to the free list unread.
+  void FreeChain(const std::vector<PageId>& chain, std::size_t bytes);
+
+  Options options_;
+  Counter* pages_spilled_;
+  Counter* unspill_reads_;
+  Gauge* spill_bytes_;
+
+  std::atomic<int64_t> in_memory_{0};
+
+  std::mutex lists_mutex_;
+  std::vector<std::weak_ptr<SharedPagesList>> lists_;
+
+  std::mutex store_mutex_;
+  std::unique_ptr<DiskManager> store_;
+  /// Latched when the spill store cannot be created: Rebalance becomes a
+  /// cheap no-op instead of rescanning every channel on every append.
+  std::atomic<bool> store_failed_{false};
+};
+
+}  // namespace sharing

@@ -37,21 +37,36 @@ StageStats Stage::GetStats() const {
   stats.sp_satellites_served = sp_satellites_served_.load();
   stats.sp_pages_produced = sp_pages_produced_.load();
   stats.sp_lag_accumulated = sp_lag_accumulated_.load();
+  stats.sp_lag_uncapped_accumulated = sp_lag_uncapped_accumulated_.load();
   stats.adaptive_off = adaptive_off_.load();
   stats.adaptive_push = adaptive_push_.load();
   stats.adaptive_pull = adaptive_pull_.load();
+  stats.adaptive_pull_spill = adaptive_pull_spill_.load();
   return stats;
 }
 
 int64_t Stage::RecordSubmissionLocked(uint64_t sig) {
   const int64_t seq = ++submit_seq_;
-  // Bound the popularity map: distinct signatures accumulate forever in a
-  // long-lived server, so shed all history (rarely) rather than grow.
-  if (last_seen_.size() > 4096) last_seen_.clear();
-  auto [it, inserted] = last_seen_.try_emplace(sig, seq);
-  if (inserted) return std::numeric_limits<int64_t>::max();
-  int64_t gap = seq - it->second;
-  it->second = seq;
+  auto it = last_seen_.find(sig);
+  if (it == last_seen_.end()) {
+    // Bound the popularity map by evicting the least-recently-seen
+    // signature: a long-lived server's hot templates keep their history
+    // while one-off signatures churn through the cold end.
+    const std::size_t capacity =
+        std::max<std::size_t>(1, options_.adaptive.popularity_capacity);
+    while (last_seen_.size() >= capacity) {
+      last_seen_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(sig);
+    last_seen_.emplace(sig, Popularity{seq, lru_.begin()});
+    return std::numeric_limits<int64_t>::max();
+  }
+  if (it->second.lru_it != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  int64_t gap = seq - it->second.seq;
+  it->second.seq = seq;
   return gap;
 }
 
@@ -65,6 +80,7 @@ SpMode Stage::ChooseAdaptiveMode(int64_t submissions_since_last_seen) {
   // No session history yet: host with pull, the transport that keeps the
   // widest attach window and never blocks the producer on a slow copy.
   bool pull = sessions == 0;
+  bool spill_pull = false;
   if (!pull) {
     const double n = static_cast<double>(sessions);
     const double avg_satellites =
@@ -81,9 +97,26 @@ SpMode Stage::ChooseAdaptiveMode(int64_t submissions_since_last_seen) {
     pull = avg_satellites >= policy.pull_satellite_threshold ||
            avg_pages >= policy.pull_pages_threshold ||
            avg_lag >= lag_threshold;
+    // Spill preference: with a memory governor in place, a session whose
+    // closing-lag history predicts retention above the budget is hosted
+    // pull — the spill tier absorbs the overflow to disk — instead of
+    // push (a laggy push satellite convoys the host) or not sharing.
+    // The *uncapped* lag is the right predictor here: it measures the
+    // pages the slowest reader actually left pinned, which the capped
+    // average deliberately hides from the push/pull trade.
+    if (!pull && options_.governor != nullptr && options_.governor->usable()) {
+      const double avg_retention =
+          static_cast<double>(sp_lag_uncapped_accumulated_.load()) / n;
+      if (avg_retention >= policy.spill_retention_factor *
+                               static_cast<double>(
+                                   options_.governor->budget_pages())) {
+        pull = spill_pull = true;
+      }
+    }
   }
   if (pull) {
     adaptive_pull_.fetch_add(1, std::memory_order_relaxed);
+    if (spill_pull) adaptive_pull_spill_.fetch_add(1, std::memory_order_relaxed);
     return SpMode::kPull;
   }
   adaptive_push_.fetch_add(1, std::memory_order_relaxed);
@@ -108,6 +141,19 @@ void Stage::RecordSessionClose(const SharingChannel::Stats& stats) {
       static_cast<int64_t>(
           std::min(stats.max_consumer_lag, options_.fifo_capacity)),
       std::memory_order_relaxed);
+  // The spill preference's retention predictor. Not FIFO-capped (that
+  // cap exists for the push/pull trade above), but saturated at a small
+  // multiple of the budget: the predictor only needs "retention above
+  // budget", and one outlier session (a mid-production attach can lag by
+  // the whole result) must not latch the mean above the threshold for
+  // thousands of sessions.
+  if (options_.governor != nullptr) {
+    const std::size_t saturation =
+        4 * std::max<std::size_t>(1, options_.governor->budget_pages());
+    sp_lag_uncapped_accumulated_.fetch_add(
+        static_cast<int64_t>(std::min(stats.max_consumer_lag, saturation)),
+        std::memory_order_relaxed);
+  }
 }
 
 PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
@@ -156,6 +202,7 @@ PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
   SharingChannelOptions copts;
   copts.fifo_capacity = options_.fifo_capacity;
   copts.metrics = metrics_;
+  copts.governor = options_.governor;
   // The close hook needs the channel's identity to deregister exactly this
   // session (a newer host may have replaced it under the same signature),
   // but the channel is constructed after the hook — bridge with a slot.

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +61,19 @@ struct AdaptiveSpPolicy {
   /// chosen: laggy consumers stall a push host on FIFO backpressure,
   /// while pull readers lag without blocking the producer.
   double pull_lag_threshold = 16.0;
+
+  /// Signatures the popularity map remembers; beyond this the
+  /// least-recently-seen signature is evicted (long-lived servers keep
+  /// hot-signature history instead of shedding everything).
+  std::size_t popularity_capacity = 4096;
+
+  /// Spill preference (only with an SpBudgetGovernor configured): when
+  /// mean *uncapped* closing lag — the retention the session's slowest
+  /// reader forces — exceeds this fraction of the memory budget, the
+  /// packet is hosted pull so the spill tier absorbs the overflow,
+  /// rather than push (whose capped-lag average hides the convoy) or no
+  /// sharing.
+  double spill_retention_factor = 1.0;
 };
 
 /// Per-stage statistics surfaced by the demo GUI (Scenario IV's key metric
@@ -78,11 +92,21 @@ struct StageStats {
   /// divide by sp_sessions_closed for the mean ChooseAdaptiveMode
   /// compares against pull_lag_threshold.
   int64_t sp_lag_accumulated = 0;
+  /// Like sp_lag_accumulated but not FIFO-capped — the retention (pages
+  /// the slowest reader left pinned) the spill preference compares
+  /// against the governor's budget. Each session's contribution
+  /// saturates at 4x the budget so one extreme laggard cannot latch the
+  /// mean; accumulated only when a governor is configured.
+  int64_t sp_lag_uncapped_accumulated = 0;
 
   // Adaptive admission decisions taken for fresh packets.
   int64_t adaptive_off = 0;
   int64_t adaptive_push = 0;
   int64_t adaptive_pull = 0;
+  /// Subset of adaptive_pull chosen by the spill preference: lag history
+  /// predicted retention above the SP memory budget, so the packet was
+  /// hosted pull + spill instead of push.
+  int64_t adaptive_pull_spill = 0;
 };
 
 class Stage {
@@ -102,6 +126,11 @@ class Stage {
     std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
 
     AdaptiveSpPolicy adaptive;
+
+    /// Engine-wide SP memory governor shared by every stage of an engine;
+    /// pull channels spill retention beyond its budget to disk. Null:
+    /// no budget, no spill tier.
+    std::shared_ptr<SpBudgetGovernor> governor;
   };
 
   Stage(std::string name, Options options, MetricsRegistry* metrics);
@@ -172,16 +201,27 @@ class Stage {
   std::atomic<int64_t> sp_satellites_served_{0};
   std::atomic<int64_t> sp_pages_produced_{0};
   std::atomic<int64_t> sp_lag_accumulated_{0};
+  std::atomic<int64_t> sp_lag_uncapped_accumulated_{0};
   std::atomic<int64_t> adaptive_off_{0};
   std::atomic<int64_t> adaptive_push_{0};
   std::atomic<int64_t> adaptive_pull_{0};
+  std::atomic<int64_t> adaptive_pull_spill_{0};
 
   std::mutex registry_mutex_;
   /// In-flight sharing sessions by plan signature, transport-agnostic.
   std::unordered_map<uint64_t, SharingChannelRef> channels_;
-  /// Popularity tracking for the adaptive policy: signature -> submission
-  /// sequence number when last seen.
-  std::unordered_map<uint64_t, int64_t> last_seen_;
+  /// Popularity tracking for the adaptive policy, LRU-bounded at
+  /// `adaptive.popularity_capacity`: signature -> {submission sequence
+  /// number when last seen, position in lru_}. lru_ front = most
+  /// recently seen; evicting the back sheds the coldest signature, so a
+  /// long-lived server keeps its hot-template history instead of
+  /// periodically forgetting everything.
+  struct Popularity {
+    int64_t seq;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<uint64_t, Popularity> last_seen_;
+  std::list<uint64_t> lru_;
   int64_t submit_seq_ = 0;
 
   ElasticThreadPool pool_;

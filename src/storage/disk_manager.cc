@@ -30,6 +30,25 @@ DiskManager::~DiskManager() {
 }
 
 PageId DiskManager::AllocatePage() {
+  {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    if (!free_list_.empty()) {
+      PageId id = free_list_.back();
+      free_list_.pop_back();
+      // Recycled pages honor the zeroed-page contract: the previous
+      // tenant's bytes must never be readable through a fresh id. The
+      // file store defers the zeroing to read time so the spill hot path
+      // (which always writes before reading) never pays an extra write.
+      if (file_ == nullptr) {
+        std::lock_guard<std::mutex> mem_lock(mem_mutex_);
+        std::memset(mem_pages_[id].get(), 0, kPageBytes);
+      } else {
+        zero_on_read_.insert(id);
+        zero_on_read_nonempty_.store(true, std::memory_order_release);
+      }
+      return id;
+    }
+  }
   PageId id = next_page_.fetch_add(1, std::memory_order_relaxed);
   if (file_ == nullptr) {
     std::lock_guard<std::mutex> lock(mem_mutex_);
@@ -38,6 +57,13 @@ PageId DiskManager::AllocatePage() {
     std::memset(mem_pages_[id].get(), 0, kPageBytes);
   }
   return id;
+}
+
+void DiskManager::FreePage(PageId id) {
+  SHARING_CHECK(id < next_page_.load(std::memory_order_acquire))
+      << "free of unallocated page " << id;
+  std::lock_guard<std::mutex> lock(free_mutex_);
+  free_list_.push_back(id);
 }
 
 void DiskManager::ChargeReadLatency(std::size_t bytes) {
@@ -69,6 +95,18 @@ Status DiskManager::ReadPage(PageId id, uint8_t* out) {
       injected_read_faults_.fetch_sub(1, std::memory_order_relaxed) > 0) {
     return Status::IoError("injected read fault for page " +
                            std::to_string(id));
+  }
+  if (file_ != nullptr &&
+      zero_on_read_nonempty_.load(std::memory_order_acquire)) {
+    // A recycled page that was never rewritten is all zeros by contract;
+    // serve it without disk I/O (and without the latency model — there
+    // is nothing to transfer). Stores that never recycle skip this on
+    // the emptiness hint alone.
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    if (zero_on_read_.contains(id)) {
+      std::memset(out, 0, kPageBytes);
+      return Status::OK();
+    }
   }
   ChargeReadLatency(kPageBytes);
   if (file_ == nullptr) {
@@ -108,6 +146,13 @@ Status DiskManager::WritePage(PageId id, const uint8_t* data) {
     }
     std::memcpy(dst, data, kPageBytes);
   } else {
+    if (zero_on_read_nonempty_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(free_mutex_);
+      zero_on_read_.erase(id);  // real bytes supersede the deferred zero
+      if (zero_on_read_.empty()) {
+        zero_on_read_nonempty_.store(false, std::memory_order_release);
+      }
+    }
     std::lock_guard<std::mutex> lock(file_mutex_);
     if (std::fseek(file_, static_cast<long>(id * kPageBytes), SEEK_SET) != 0) {
       return Status::IoError("fseek failed for page " + std::to_string(id));

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/macros.h"
@@ -55,8 +56,22 @@ class DiskManager {
 
   SHARING_DISALLOW_COPY_AND_MOVE(DiskManager);
 
-  /// Allocates a fresh zeroed page and returns its id.
+  /// Allocates a zeroed page and returns its id, recycling freed pages
+  /// before growing the store (spill files stay bounded by their live
+  /// working set instead of their cumulative traffic).
   PageId AllocatePage();
+
+  /// Returns `id` to the allocator's free list. The page's contents are
+  /// dead the moment this is called; a subsequent AllocatePage may hand
+  /// the id out again. Callers (the SP spill tier) free spilled pages
+  /// without re-reading them once no reader can need them.
+  void FreePage(PageId id);
+
+  /// Pages currently on the free list (allocation recycling, for tests).
+  std::size_t NumFreePages() const {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    return free_list_.size();
+  }
 
   /// Reads page `id` into `out` (kPageBytes). Charges the read-latency
   /// model.
@@ -93,6 +108,17 @@ class DiskManager {
   Counter* writes_counter_;
 
   std::atomic<uint64_t> next_page_{0};
+  mutable std::mutex free_mutex_;
+  std::vector<PageId> free_list_;
+  /// File-backed recycled pages whose zeroing is deferred to first read:
+  /// ReadPage serves them as zeros without touching disk, WritePage
+  /// clears the mark. Spill chains (the free-list consumer) always write
+  /// before reading, so the hot path never pays a zeroing write. The
+  /// atomic emptiness hint keeps ReadPage on stores that never recycle
+  /// (every main database file) to a single relaxed load — no mutex, no
+  /// lookup.
+  std::unordered_set<PageId> zero_on_read_;
+  std::atomic<bool> zero_on_read_nonempty_{false};
   std::atomic<uint32_t> read_latency_micros_;
   std::atomic<uint32_t> read_bandwidth_mib_;
   std::atomic<int32_t> injected_read_faults_{0};

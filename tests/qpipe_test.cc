@@ -259,6 +259,31 @@ TEST_F(QPipeTest, AdaptiveSharesHotQueriesAndSkipsColdOnes) {
   EXPECT_GT(hot.sp_hits + hot_agg.sp_hits, 0);
 }
 
+TEST_F(QPipeTest, AdaptivePopularityLruKeepsHotSignaturesUnderColdChurn) {
+  QPipeOptions options = QPipeOptions::AllSp(SpMode::kAdaptive);
+  // A tiny popularity map under sustained cold churn: the LRU must evict
+  // the one-off signatures and keep the recurring template's history.
+  // (The old implementation shed the *entire* map when full, forgetting
+  // the hot template along with the noise.)
+  options.adaptive.popularity_capacity = 4;
+  QPipeEngine engine(db_->catalog(), options, db_->metrics());
+
+  ASSERT_TRUE(engine.Execute(AggPlan()).ok());  // prime the hot template
+  constexpr int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    ASSERT_TRUE(engine.Execute(AggPlan(500 + round)).ok());  // cold one-off
+    ASSERT_TRUE(engine.Execute(AggPlan(700 + round)).ok());  // cold one-off
+    ASSERT_TRUE(engine.Execute(AggPlan()).ok());             // hot re-touch
+  }
+  StageStats scan = engine.scan_stage()->GetStats();
+  // Every hot re-touch recurred within three submissions, so despite 20
+  // distinct cold signatures flooding a 4-entry map the hot template must
+  // still be recognized and admitted shared every time.
+  EXPECT_GE(scan.adaptive_push + scan.adaptive_pull, kRounds);
+  // The cold one-offs (and the first hot sighting) execute unshared.
+  EXPECT_EQ(scan.adaptive_off, 2 * kRounds + 1);
+}
+
 TEST_F(QPipeTest, PushSpCopiesPagesPullSpShares) {
   // Push mode must report copied pages; pull mode must not copy at all.
   auto run = [&](SpMode mode) {

@@ -309,5 +309,314 @@ TEST(PullChannelTest, ConcurrentDrainReclaimsEverything) {
   EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesReclaimed)->Get(), kPages);
 }
 
+// ---------------------------------------------------------------------------
+// Spill tier: the SpBudgetGovernor bounds in-memory retention; overflow
+// migrates to the governor's temp store and faults back bit-exactly.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<SpBudgetGovernor> MakeGovernor(MetricsRegistry* metrics,
+                                               std::size_t budget) {
+  SpBudgetGovernor::Options gopts;
+  gopts.budget_pages = budget;
+  gopts.metrics = metrics;
+  return SpBudgetGovernor::Create(std::move(gopts));
+}
+
+SharingChannelRef MakePullChannel(MetricsRegistry* metrics,
+                                  std::shared_ptr<SpBudgetGovernor> governor) {
+  SharingChannelOptions options;
+  options.metrics = metrics;
+  options.governor = std::move(governor);
+  return MakeSharingChannel(SpMode::kPull, std::move(options));
+}
+
+void ExpectPageBitExact(const PageRef& page, int64_t tag, std::size_t rows) {
+  ASSERT_NE(page, nullptr);
+  PageRef want = MakePage(tag, rows);
+  ASSERT_EQ(page->row_width(), want->row_width());
+  ASSERT_EQ(page->row_count(), want->row_count());
+  EXPECT_EQ(page->capacity(), want->capacity())
+      << "fault-back must reconstruct the page exactly, capacity included";
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(0,
+              std::memcmp(page->RowAt(r), want->RowAt(r), page->row_width()))
+        << "row " << r << " of page " << tag;
+  }
+}
+
+TEST(SpillChannelTest, SlowReaderSpillsAndFaultsBackBitExact) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  Gauge* spill_bytes = metrics.GetGauge(metrics::kSpSpillBytes);
+  constexpr std::size_t kBudget = 8;
+  constexpr int kPages = 100;
+  auto governor = MakeGovernor(&metrics, kBudget);
+  auto channel = MakePullChannel(&metrics, governor);
+
+  auto host = channel->AttachReader();
+  auto slow = channel->AttachReader();
+
+  // The host keeps pace with production; the slow satellite is stalled at
+  // page 0 and pins the whole history — exactly the case the budget
+  // bounds.
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(channel->Put(MakePage(i)));
+    ExpectPageBitExact(host->Next(), i, 4);
+    ASSERT_LE(retained->Get(), static_cast<int64_t>(kBudget))
+        << "in-memory retention exceeded the budget at page " << i;
+  }
+  channel->Close(Status::OK());
+  EXPECT_EQ(host->Next(), nullptr);
+
+  EXPECT_GT(metrics.GetCounter(metrics::kSpPagesSpilled)->Get(),
+            static_cast<int64_t>(kPages - 2 * kBudget))
+      << "most of the stalled window must have been migrated to disk";
+  EXPECT_GT(spill_bytes->Get(), 0);
+
+  // The stalled reader now drains: spilled pages fault back bit-exact.
+  for (int i = 0; i < kPages; ++i) {
+    PageRef page = slow->Next();
+    ExpectPageBitExact(page, i, 4);
+  }
+  EXPECT_EQ(slow->Next(), nullptr);
+  EXPECT_TRUE(slow->FinalStatus().ok());
+  EXPECT_GT(metrics.GetCounter(metrics::kSpUnspillReads)->Get(), 0);
+
+  // Reclamation-after-drain: both tiers return to zero.
+  EXPECT_EQ(retained->Get(), 0);
+  EXPECT_EQ(spill_bytes->Get(), 0);
+  EXPECT_EQ(governor->InMemoryPages(), 0u);
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesReclaimed)->Get(), kPages);
+}
+
+TEST(SpillChannelTest, BudgetHoldsAcrossConcurrentSessions) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  Gauge* spill_bytes = metrics.GetGauge(metrics::kSpSpillBytes);
+  constexpr std::size_t kBudget = 8;
+  constexpr int kPages = 50;
+  // One governor, two concurrent sharing sessions: the budget is global,
+  // not per channel.
+  auto governor = MakeGovernor(&metrics, kBudget);
+  auto a = MakePullChannel(&metrics, governor);
+  auto b = MakePullChannel(&metrics, governor);
+
+  auto host_a = a->AttachReader();
+  auto host_b = b->AttachReader();
+  auto slow_a = a->AttachReader();
+  auto slow_b = b->AttachReader();
+
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(a->Put(MakePage(i)));
+    ASSERT_TRUE(b->Put(MakePage(1000 + i)));
+    ExpectPageBitExact(host_a->Next(), i, 4);
+    ExpectPageBitExact(host_b->Next(), 1000 + i, 4);
+    ASSERT_LE(retained->Get(), static_cast<int64_t>(kBudget))
+        << "combined in-memory retention exceeded the budget at page " << i;
+  }
+  a->Close(Status::OK());
+  b->Close(Status::OK());
+
+  for (int i = 0; i < kPages; ++i) {
+    ExpectPageBitExact(slow_a->Next(), i, 4);
+    ExpectPageBitExact(slow_b->Next(), 1000 + i, 4);
+  }
+  EXPECT_EQ(slow_a->Next(), nullptr);
+  EXPECT_EQ(slow_b->Next(), nullptr);
+  EXPECT_EQ(retained->Get(), 0);
+  EXPECT_EQ(spill_bytes->Get(), 0);
+  EXPECT_EQ(governor->InMemoryPages(), 0u);
+}
+
+TEST(SpillChannelTest, CancelledReaderFreesSpilledPagesUnread) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  Gauge* spill_bytes = metrics.GetGauge(metrics::kSpSpillBytes);
+  auto governor = MakeGovernor(&metrics, /*budget=*/4);
+  auto channel = MakePullChannel(&metrics, governor);
+
+  auto host = channel->AttachReader();
+  auto stuck = channel->AttachReader();
+  constexpr int kPages = 64;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(channel->Put(MakePage(i)));
+    ASSERT_NE(host->Next(), nullptr);
+  }
+  channel->Close(Status::OK());
+  EXPECT_EQ(host->Next(), nullptr);
+  EXPECT_GT(spill_bytes->Get(), 0) << "the stuck reader forced a spill";
+
+  // The stuck reader walks away without ever reading: its spilled chains
+  // must be deleted, not faulted back.
+  stuck->CancelConsumer();
+  EXPECT_EQ(retained->Get(), 0);
+  EXPECT_EQ(spill_bytes->Get(), 0);
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpUnspillReads)->Get(), 0)
+      << "reclaimed spill chains are freed unread";
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesReclaimed)->Get(), kPages);
+}
+
+TEST(SpillChannelTest, RebalanceShedsIdleChannelBeforeActiveUnreadTail) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  constexpr std::size_t kBudget = 8;
+  auto governor = MakeGovernor(&metrics, kBudget);
+  auto idle = MakePullChannel(&metrics, governor);
+  auto active = MakePullChannel(&metrics, governor);
+
+  // Idle session: its host drained everything, but the open attach
+  // window keeps the history resident — filling the budget exactly.
+  auto idle_host = idle->AttachReader();
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ASSERT_TRUE(idle->Put(MakePage(i)));
+    ASSERT_NE(idle_host->Next(), nullptr);
+  }
+  EXPECT_EQ(retained->Get(), static_cast<int64_t>(kBudget));
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesSpilled)->Get(), 0);
+
+  // Active session: produce an unread tail. The governor must shed the
+  // idle channel's drained history, not make the active channel
+  // spill-and-refault the pages it is about to serve.
+  auto active_host = active->AttachReader();
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ASSERT_TRUE(active->Put(MakePage(100 + i)));
+    ASSERT_LE(retained->Get(), static_cast<int64_t>(kBudget));
+  }
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesSpilled)->Get(),
+            static_cast<int64_t>(kBudget))
+      << "exactly the idle channel's history must have spilled";
+  active->Close(Status::OK());
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ExpectPageBitExact(active_host->Next(), 100 + i, 4);
+  }
+  EXPECT_EQ(active_host->Next(), nullptr);
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpUnspillReads)->Get(), 0)
+      << "the active channel must serve its own production from RAM";
+
+  // The idle session's spilled history still serves a late attacher.
+  auto late = idle->AttachReader();
+  ASSERT_NE(late, nullptr);
+  idle->Close(Status::OK());
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ExpectPageBitExact(late->Next(), i, 4);
+  }
+  EXPECT_EQ(late->Next(), nullptr);
+  EXPECT_EQ(retained->Get(), 0);
+  EXPECT_EQ(metrics.GetGauge(metrics::kSpSpillBytes)->Get(), 0);
+}
+
+TEST(SpillChannelTest, UnreadFallbackShedsIdleChannelFirst) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  constexpr std::size_t kBudget = 8;
+  auto governor = MakeGovernor(&metrics, kBudget);
+  auto idle = MakePullChannel(&metrics, governor);
+  auto active = MakePullChannel(&metrics, governor);
+
+  // Idle session: unread production exactly at the budget (submitted but
+  // not yet collected — its reader arrives later).
+  auto idle_reader = idle->AttachReader();
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ASSERT_TRUE(idle->Put(MakePage(i)));
+  }
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesSpilled)->Get(), 0);
+
+  // Active session: nothing is consumed anywhere, so the unread
+  // fallback applies — it must shed the idle channel's pages (read
+  // later) before the active channel's fresh ones (read next).
+  auto active_host = active->AttachReader();
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ASSERT_TRUE(active->Put(MakePage(100 + i)));
+    ASSERT_LE(retained->Get(), static_cast<int64_t>(kBudget));
+  }
+  active->Close(Status::OK());
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ExpectPageBitExact(active_host->Next(), 100 + i, 4);
+  }
+  EXPECT_EQ(active_host->Next(), nullptr);
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpUnspillReads)->Get(), 0)
+      << "the active producer must not spill-and-refault its own pages";
+
+  // The idle session's reader finally arrives and faults its history.
+  idle->Close(Status::OK());
+  for (int i = 0; i < static_cast<int>(kBudget); ++i) {
+    ExpectPageBitExact(idle_reader->Next(), i, 4);
+  }
+  EXPECT_EQ(idle_reader->Next(), nullptr);
+  EXPECT_EQ(retained->Get(), 0);
+  EXPECT_EQ(metrics.GetGauge(metrics::kSpSpillBytes)->Get(), 0);
+}
+
+TEST(SpillChannelTest, MidProductionAttachReadsSpilledHistory) {
+  MetricsRegistry metrics;
+  auto governor = MakeGovernor(&metrics, /*budget=*/4);
+  auto channel = MakePullChannel(&metrics, governor);
+
+  auto host = channel->AttachReader();
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(channel->Put(MakePage(i)));
+    ASSERT_NE(host->Next(), nullptr);
+  }
+  // The widened pull window survives the spill tier: a late attacher is
+  // served the spilled history via fault-back.
+  auto late = channel->AttachReader();
+  ASSERT_NE(late, nullptr);
+  for (int i = 32; i < 40; ++i) {
+    ASSERT_TRUE(channel->Put(MakePage(i)));
+    ASSERT_NE(host->Next(), nullptr);
+  }
+  channel->Close(Status::OK());
+  for (int i = 0; i < 40; ++i) {
+    ExpectPageBitExact(late->Next(), i, 4);
+  }
+  EXPECT_EQ(late->Next(), nullptr);
+  EXPECT_GT(metrics.GetCounter(metrics::kSpUnspillReads)->Get(), 0);
+}
+
+TEST(SpillChannelTest, ConcurrentSpilledDrainIsBitExact) {
+  MetricsRegistry metrics;
+  Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+  Gauge* spill_bytes = metrics.GetGauge(metrics::kSpSpillBytes);
+  constexpr std::size_t kBudget = 16;
+  constexpr int kReaders = 4;
+  constexpr int kPages = 400;
+  auto governor = MakeGovernor(&metrics, kBudget);
+  auto channel = MakePullChannel(&metrics, governor);
+
+  std::vector<PageSourceRef> readers;
+  for (int r = 0; r < kReaders; ++r) readers.push_back(channel->AttachReader());
+
+  std::thread producer([&] {
+    for (int i = 0; i < kPages; ++i) channel->Put(MakePage(i, 2));
+    channel->Close(Status::OK());
+  });
+  std::vector<std::thread> consumers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kReaders; ++r) {
+    consumers.emplace_back([&, r] {
+      int64_t expect = 0;
+      while (PageRef page = readers[r]->Next()) {
+        if (page->row_count() != 2 || FirstValue(page) != expect * 100) {
+          failures.fetch_add(1);
+        }
+        ++expect;
+        if (r == 0) {
+          // One deliberately slow reader so production outruns
+          // consumption and the budget forces spills.
+          std::this_thread::yield();
+        }
+      }
+      if (expect != kPages) failures.fetch_add(1);
+      if (!readers[r]->FinalStatus().ok()) failures.fetch_add(1);
+    });
+  }
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(retained->Get(), 0);
+  EXPECT_EQ(spill_bytes->Get(), 0);
+  EXPECT_EQ(governor->InMemoryPages(), 0u);
+}
+
 }  // namespace
 }  // namespace sharing

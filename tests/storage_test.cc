@@ -377,10 +377,12 @@ TEST(CircularScanTest, ConcurrentConsumersShareOneStream) {
   }
   auto delta = MetricsRegistry::Delta(before, db->metrics()->Snapshot());
   // The producer read each page roughly once per cycle, NOT once per
-  // scanner: with 4 concurrent scanners attached at (nearly) the same
-  // time, total physical reads stay well below 4x the table size.
+  // scanner: unshared scans would read exactly 4x the table. The bound
+  // leaves room for a scanner or two attaching a cycle late under CPU
+  // contention (this suite runs under ctest -j), which costs an extra
+  // producer cycle each without breaking the sharing property.
   EXPECT_LT(delta[metrics::kScanPagesRead],
-            2 * static_cast<int64_t>(table->num_pages()));
+            3 * static_cast<int64_t>(table->num_pages()));
   EXPECT_GE(delta[metrics::kScanSharedAttach], 1);
 }
 
