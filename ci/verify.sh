@@ -20,9 +20,16 @@ run_suite build
 
 echo "=== spill ablation (smoke) -> BENCH_spill.json ==="
 # A small sweep so every verify run records spill-regime numbers; the
-# perf trajectory lives in BENCH_spill.json (budget x slow-reader lag).
+# perf trajectory lives in BENCH_spill.json (budget x slow-reader lag,
+# plus the async spill-write independence sweep).
 SHARING_BENCH_SF=0.05 SHARING_BENCH_JSON=BENCH_spill.json \
   ./build/bench_ablation_spill
+
+echo "=== io scheduler ablation (smoke) -> BENCH_io.json ==="
+# io_threads x read latency x IO budget on the disk-resident spill
+# regime; append wall must stay flat while drain pays the read model.
+SHARING_BENCH_SF=0.1 SHARING_BENCH_JSON=BENCH_io.json \
+  ./build/bench_ablation_io
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "=== tier-1 under AddressSanitizer ==="

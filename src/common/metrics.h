@@ -162,6 +162,10 @@ inline constexpr const char* kSpPagesReclaimed = "sp.pages_reclaimed";
 inline constexpr const char* kSpPagesSpilled = "sp.pages_spilled";
 inline constexpr const char* kSpSpillBytes = "sp.spill_bytes";  // gauge
 inline constexpr const char* kSpUnspillReads = "sp.unspill_reads";
+inline constexpr const char* kIoReadsIssued = "io.reads_issued";
+inline constexpr const char* kIoWritesIssued = "io.writes_issued";
+inline constexpr const char* kIoQueueDepth = "io.queue_depth";  // gauge
+inline constexpr const char* kIoStallMicros = "io.stall_micros";
 inline constexpr const char* kCjoinFactTuplesIn = "cjoin.fact_tuples_in";
 inline constexpr const char* kCjoinTuplesOut = "cjoin.tuples_out";
 inline constexpr const char* kCjoinTuplesDropped = "cjoin.tuples_dropped";

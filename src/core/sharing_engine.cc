@@ -32,6 +32,10 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.adaptive = config_.adaptive;
   qopts.sp_memory_budget = config_.sp_memory_budget;
   qopts.sp_spill_path = config_.sp_spill_path;
+  qopts.io_threads = config_.io_threads;
+  qopts.io_budget_mib = config_.io_budget_mib;
+  qopts.spill_write_window = config_.spill_write_window;
+  qopts.scan_prefetch_depth = config_.scan_prefetch_depth;
   qpipe_ = std::make_unique<QPipeEngine>(db_->catalog(), qopts,
                                          db_->metrics());
 

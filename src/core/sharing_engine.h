@@ -64,6 +64,15 @@ struct EngineConfig {
   /// Backing file for spilled SP pages; empty picks a unique temp file.
   std::string sp_spill_path;
 
+  /// Async I/O scheduler (see QPipeOptions for full semantics):
+  /// worker threads (0 = no scheduler, fully synchronous I/O),
+  /// per-priority-class MiB/s budget (0 = unthrottled), the in-flight
+  /// spill-write window, and circular-scan readahead depth.
+  std::size_t io_threads = 2;
+  std::size_t io_budget_mib = 0;
+  std::size_t spill_write_window = 16;
+  std::size_t scan_prefetch_depth = 4;
+
   /// CJOIN configuration; the pipeline is built iff `fact_table` is
   /// non-empty (GQP modes require it).
   std::string fact_table;

@@ -1,0 +1,258 @@
+#include "io/io_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sharing {
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/// Minimum burst so a single 8 KiB page job is always affordable from a
+/// full bucket, even under a tiny configured rate.
+constexpr double kMinBurstBytes = 64.0 * 1024.0;
+
+bool IsReadClass(IoPriority priority) {
+  return priority != IoPriority::kSpillWrite;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IoTicket
+// ---------------------------------------------------------------------------
+
+Status IoTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return state_ == State::kDone; });
+  return status_;
+}
+
+bool IoTicket::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == State::kDone;
+}
+
+bool IoTicket::TryCancel() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kQueued || cancelled_) return false;
+  cancelled_ = true;
+  return true;
+}
+
+void IoTicket::Complete(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = State::kDone;
+    status_ = std::move(status);
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// IoScheduler
+// ---------------------------------------------------------------------------
+
+IoScheduler::IoScheduler(Options options)
+    : options_(options),
+      reads_issued_(options_.metrics->GetCounter(metrics::kIoReadsIssued)),
+      writes_issued_(options_.metrics->GetCounter(metrics::kIoWritesIssued)),
+      stall_micros_(options_.metrics->GetCounter(metrics::kIoStallMicros)),
+      queue_depth_(options_.metrics->GetGauge(metrics::kIoQueueDepth)),
+      rate_bytes_per_sec_(static_cast<double>(options_.budget_mib_per_sec) *
+                          kMiB),
+      burst_bytes_(std::max(kMinBurstBytes, rate_bytes_per_sec_ / 4.0)) {
+  const auto now = std::chrono::steady_clock::now();
+  for (Bucket& bucket : buckets_) {
+    bucket.tokens = burst_bytes_;
+    bucket.last = now;
+  }
+  const std::size_t threads = std::max<std::size_t>(1, options_.threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoScheduler::~IoScheduler() { Shutdown(); }
+
+IoTicketRef IoScheduler::Submit(IoPriority priority, std::size_t bytes,
+                                IoFn work, std::function<void()> on_skip) {
+  auto ticket = std::make_shared<IoTicket>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return nullptr;
+    queues_[static_cast<std::size_t>(priority)].push_back(
+        Job{ticket, bytes, std::move(work), std::move(on_skip)});
+    // Inside the lock: a worker Subs under the same lock at pop time, so
+    // the gauge can never transiently go negative or miss a peak.
+    queue_depth_->Add(1);
+  }
+  if (IsReadClass(priority)) {
+    reads_issued_->Increment();
+  } else {
+    writes_issued_->Increment();
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+std::size_t IoScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue.size();
+  return depth;
+}
+
+void IoScheduler::RefillLocked(Bucket& bucket,
+                               std::chrono::steady_clock::time_point now) {
+  if (rate_bytes_per_sec_ <= 0) return;
+  const double elapsed =
+      std::chrono::duration<double>(now - bucket.last).count();
+  bucket.last = now;
+  bucket.tokens =
+      std::min(burst_bytes_, bucket.tokens + elapsed * rate_bytes_per_sec_);
+}
+
+void IoScheduler::FinishJob(Job job, Status status) {
+  // Destroy the job's captures (work/on_skip lambdas and everything they
+  // own — page refs, SpilledPageRefs, governor handles) strictly BEFORE
+  // completing the ticket: the moment Wait() returns, a waiter may tear
+  // down the objects those captures point at (or drop the references
+  // that keep this scheduler alive), so nothing of the job may survive
+  // past the completion signal.
+  IoTicketRef ticket = std::move(job.ticket);
+  job.work = nullptr;
+  job.on_skip = nullptr;
+  ticket->Complete(std::move(status));
+}
+
+void IoScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    bool throttled_jobs = false;
+    // Timed-wait bound when every non-empty class is throttled: the
+    // earliest bucket recovery, capped at 1ms so a fresh submission to
+    // an affordable class is picked up promptly even if its notify
+    // races the wait.
+    auto min_token_wait = std::chrono::microseconds(1000);
+    bool progressed = false;
+    for (std::size_t cls = 0; cls < kIoPriorityClasses && !progressed;
+         ++cls) {
+      auto& queue = queues_[cls];
+      if (queue.empty()) continue;
+      bool head_cancelled;
+      {
+        // A cancelled head job is discarded regardless of the bucket —
+        // it consumes no tokens, so it must not wait for any.
+        std::lock_guard<std::mutex> tlock(queue.front().ticket->mutex_);
+        head_cancelled = queue.front().ticket->cancelled_;
+      }
+      if (head_cancelled) {
+        Job job = std::move(queue.front());
+        queue.pop_front();
+        queue_depth_->Sub(1);
+        lock.unlock();  // skip hooks may take client locks
+        if (job.on_skip) job.on_skip();
+        FinishJob(std::move(job), Status::Aborted("io job cancelled"));
+        lock.lock();
+        progressed = true;
+        continue;
+      }
+      Bucket& bucket = buckets_[cls];
+      RefillLocked(bucket, now);
+      // A positive bucket affords any job (the overdraft throttles the
+      // next one), so jobs larger than the burst are never starved. The
+      // affordability test precedes the claim: a class that cannot pay
+      // yields to lower classes instead of head-of-line blocking them.
+      const bool affordable = rate_bytes_per_sec_ <= 0 || bucket.tokens > 0;
+      if (!affordable) {
+        throttled_jobs = true;
+        min_token_wait = std::min(
+            min_token_wait,
+            std::chrono::microseconds(
+                1 + static_cast<int64_t>(-bucket.tokens /
+                                         rate_bytes_per_sec_ * 1e6)));
+        continue;
+      }
+      Job job = std::move(queue.front());
+      queue.pop_front();
+      queue_depth_->Sub(1);
+      // Claim atomically against TryCancel: once state_ is kRunning a
+      // concurrent TryCancel returns false, so "TryCancel returned true"
+      // really does guarantee the work never runs.
+      bool run;
+      {
+        std::lock_guard<std::mutex> tlock(job.ticket->mutex_);
+        run = !job.ticket->cancelled_;
+        if (run) job.ticket->state_ = IoTicket::State::kRunning;
+      }
+      if (run) bucket.tokens -= static_cast<double>(job.bytes);
+      lock.unlock();
+      if (run) {
+        Status st = job.work ? job.work() : Status::OK();
+        FinishJob(std::move(job), std::move(st));
+      } else {
+        if (job.on_skip) job.on_skip();
+        FinishJob(std::move(job), Status::Aborted("io job cancelled"));
+      }
+      lock.lock();
+      progressed = true;
+    }
+    if (progressed) continue;
+    if (throttled_jobs) {
+      // Work is pending but every non-empty class's bucket is dry: an
+      // I/O stall by construction. Only one worker at a time accounts
+      // it, so io.stall_micros approximates *wall-clock* stall instead
+      // of inflating by the number of idle workers.
+      const bool account = !stall_accounted_.exchange(true);
+      const auto t0 = std::chrono::steady_clock::now();
+      cv_.wait_for(lock, min_token_wait);
+      if (account) {
+        stall_micros_->Add(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        stall_accounted_.store(false);
+      }
+      continue;
+    }
+    if (shutdown_) return;  // Shutdown drained the queues before waking us
+    cv_.wait(lock, [&] {
+      if (shutdown_) return true;
+      for (const auto& queue : queues_) {
+        if (!queue.empty()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void IoScheduler::Shutdown() {
+  std::vector<Job> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    for (auto& queue : queues_) {
+      for (auto& job : queue) dropped.push_back(std::move(job));
+      queue.clear();
+    }
+  }
+  cv_.notify_all();
+  // Outside the lock: skip hooks may take client locks (e.g. a
+  // SharedPagesList unmarking an in-flight spill victim).
+  for (auto& job : dropped) {
+    queue_depth_->Sub(1);
+    if (job.on_skip) job.on_skip();
+    FinishJob(std::move(job), Status::Aborted("io scheduler shut down"));
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace sharing

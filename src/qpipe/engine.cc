@@ -24,10 +24,21 @@ void QueryHandle::Cancel() {
 QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
                          MetricsRegistry* metrics)
     : catalog_(catalog), options_(options), metrics_(metrics) {
+  if (options_.io_threads > 0) {
+    IoScheduler::Options iopts;
+    iopts.threads = options_.io_threads;
+    iopts.budget_mib_per_sec = options_.io_budget_mib;
+    iopts.metrics = metrics_;
+    io_scheduler_ = std::make_shared<IoScheduler>(iopts);
+  }
   if (options_.sp_memory_budget > 0) {
     SpBudgetGovernor::Options gopts;
     gopts.budget_pages = options_.sp_memory_budget;
     gopts.spill_path = options_.sp_spill_path;
+    gopts.read_latency_micros = options_.sp_spill_read_latency_micros;
+    gopts.write_latency_micros = options_.sp_spill_write_latency_micros;
+    gopts.scheduler = io_scheduler_;
+    gopts.spill_write_window = options_.spill_write_window;
     gopts.metrics = metrics_;
     sp_governor_ = SpBudgetGovernor::Create(std::move(gopts));
   }
@@ -58,6 +69,12 @@ QPipeEngine::~QPipeEngine() {
   agg_->Shutdown();
   sort_->Shutdown();
   for (auto& s : extra_stages_) s->Shutdown();
+  // Then the I/O scheduler: queued jobs are dropped (their owners keep
+  // state in memory by contract), running ones finish. Clients hold the
+  // scheduler by shared_ptr and fall back to synchronous I/O once
+  // Submit starts returning nullptr, so the remaining members can be
+  // destroyed in any order.
+  if (io_scheduler_ != nullptr) io_scheduler_->Shutdown();
 }
 
 void QPipeEngine::SetSpModeAllStages(SpMode mode) {
@@ -74,7 +91,8 @@ CircularScanGroup* QPipeEngine::ScanGroupFor(const Table* table) {
     it = scan_groups_
              .emplace(table,
                       std::make_unique<CircularScanGroup>(
-                          table, /*queue_depth=*/4, metrics_))
+                          table, /*queue_depth=*/4, metrics_, io_scheduler_,
+                          options_.scan_prefetch_depth))
              .first;
   }
   return it->second.get();

@@ -55,6 +55,30 @@ struct QPipeOptions {
   /// Backing file for spilled SP pages; empty picks a unique temp file.
   std::string sp_spill_path;
 
+  /// Latency model charged on spill writes (on the I/O workers, never a
+  /// producer thread); 0 = none. Used by disk-resident benchmarks.
+  uint32_t sp_spill_write_latency_micros = 0;
+
+  /// Latency model charged on spill fault-back reads; 0 = none.
+  uint32_t sp_spill_read_latency_micros = 0;
+
+  /// I/O scheduler worker threads. 0 disables the scheduler entirely:
+  /// spill writes run synchronously in the producer path and scans read
+  /// page-at-a-time (the pre-IoScheduler behavior).
+  std::size_t io_threads = 2;
+
+  /// Per-priority-class token-bucket budget in MiB/s (scan-prefetch,
+  /// fault-back, spill-write each get their own bucket); 0 = unthrottled.
+  std::size_t io_budget_mib = 0;
+
+  /// Max spill writes in flight before SpillAsync declines (bounds the
+  /// transient over-budget residency of pinned-until-durable victims).
+  std::size_t spill_write_window = 16;
+
+  /// Pages of circular-scan readahead issued through the scheduler's
+  /// kScanPrefetch class; 0 disables scan prefetch.
+  std::size_t scan_prefetch_depth = 4;
+
   /// Applies `mode` to all four stages.
   static QPipeOptions AllSp(SpMode mode) {
     QPipeOptions o;
@@ -119,6 +143,12 @@ class QPipeEngine {
     return sp_governor_;
   }
 
+  /// The engine-wide async I/O scheduler; null when
+  /// QPipeOptions::io_threads is 0.
+  const std::shared_ptr<IoScheduler>& io_scheduler() const {
+    return io_scheduler_;
+  }
+
   /// Reconfigures SP for all stages at run time (the demo GUI's
   /// per-stage SP checkboxes).
   void SetSpModeAllStages(SpMode mode);
@@ -150,6 +180,7 @@ class QPipeEngine {
   QPipeOptions options_;
   MetricsRegistry* metrics_;
 
+  std::shared_ptr<IoScheduler> io_scheduler_;
   std::shared_ptr<SpBudgetGovernor> sp_governor_;
   std::unique_ptr<TscanStage> tscan_;
   std::unique_ptr<JoinStage> join_;

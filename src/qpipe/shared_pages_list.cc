@@ -172,31 +172,50 @@ std::size_t SharedPagesList::ShedForBudget(std::size_t max_pages,
   }
   if (victims.empty()) return 0;
 
-  std::vector<SpilledPageRef> spilled(victims.size());
-  for (std::size_t v = 0; v < victims.size(); ++v) {
-    spilled[v] = governor_->Spill(*victims[v].page);  // nullptr on failure
+  // Initiate the spill I/O with no list lock held. With a scheduler the
+  // write runs asynchronously on a kSpillWrite worker and InstallSpilled
+  // is the completion handoff; without one, SpillAsync degenerates to
+  // the synchronous spill-then-install path inline. Either way the
+  // victim stays resident and readable until its chain is durable.
+  auto self = shared_from_this();
+  std::size_t initiated = 0;
+  for (auto& victim : victims) {
+    const std::size_t pos = victim.pos;
+    const bool accepted = governor_->SpillAsync(
+        std::move(victim.page),
+        [self, pos](SpilledPageRef spilled) {
+          self->InstallSpilled(pos, std::move(spilled));
+        });
+    if (!accepted) {
+      // In-flight window full (or scheduler shut down): unmark so a
+      // later pass can re-select the victim; it stays resident.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pos >= base_) slots_[pos - base_].spilling = false;
+      continue;
+    }
+    ++initiated;
   }
+  return initiated;
+}
 
-  std::size_t shed = 0;
+void SharedPagesList::InstallSpilled(std::size_t pos, SpilledPageRef spilled) {
+  bool released = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t v = 0; v < victims.size(); ++v) {
-      const std::size_t pos = victims[v].pos;
-      // Reclaimed mid-spill: the fresh chain dies with its unowned ref
-      // (freed unread), nothing to install.
-      if (pos < base_) continue;
-      Slot& slot = slots_[pos - base_];
-      slot.spilling = false;
-      if (spilled[v] == nullptr) continue;  // spill store unavailable
-      slot.page = nullptr;
-      slot.spilled = std::move(spilled[v]);
-      ++shed;
-    }
-    in_memory_ -= shed;
-    pages_retained_->Sub(static_cast<int64_t>(shed));
+    // Reclaimed mid-spill: the fresh chain dies with its unowned ref
+    // (freed unread), nothing to install.
+    if (pos < base_) return;
+    Slot& slot = slots_[pos - base_];
+    slot.spilling = false;
+    if (spilled == nullptr) return;  // spill store unavailable / skipped
+    if (slot.page == nullptr) return;  // already migrated (defensive)
+    slot.page = nullptr;
+    slot.spilled = std::move(spilled);
+    --in_memory_;
+    pages_retained_->Sub(1);
+    released = true;
   }
-  if (shed > 0) governor_->OnPagesReleased(shed);
-  return shed;
+  if (released) governor_->OnPagesReleased(1);
 }
 
 PageRef SplReader::Next() {
@@ -210,21 +229,65 @@ PageRef SplReader::Next() {
   }
   SHARING_CHECK(cursor_ >= list_->base_)
       << "reader cursor points at a reclaimed page";
-  const SharedPagesList::Slot& slot = list_->slots_[cursor_ - list_->base_];
+  const std::size_t pos = cursor_;
+  const SharedPagesList::Slot& slot = list_->slots_[pos - list_->base_];
   PageRef page = slot.page;
   SpilledPageRef spilled = slot.spilled;
   ++cursor_;
   // Only the reader leaving the reclamation frontier can raise the min
   // cursor; everyone else would scan the reader list for a no-op.
-  if (cursor_ - 1 == list_->base_) list_->MaybeReclaimLocked();
-  if (page != nullptr) return page;
+  if (pos == list_->base_) list_->MaybeReclaimLocked();
+  auto governor = list_->governor_;
+  // Peek the successor while still under the lock: if it has already
+  // spilled, its fault-back can be scheduled now and overlap this page's
+  // consumption (sequential-reader readahead; slots only ever migrate
+  // memory -> spilled, so the ref stays authoritative once taken).
+  SpilledPageRef readahead;
+  if (governor != nullptr && governor->scheduler() != nullptr &&
+      cursor_ < list_->base_ + list_->slots_.size()) {
+    readahead = list_->slots_[cursor_ - list_->base_].spilled;
+  }
+  lock.unlock();
+
+  // This reader's previous readahead (if any) targeted exactly `pos`;
+  // take it over before installing the next one.
+  const std::size_t pf_pos = prefetch_pos_;
+  IoTicketRef pf_ticket = std::move(prefetch_ticket_);
+  auto pf_out = std::move(prefetch_out_);
+  prefetch_pos_ = static_cast<std::size_t>(-1);
+  if (readahead != nullptr) {
+    auto out = std::make_shared<std::optional<StatusOr<PageRef>>>();
+    if (IoTicketRef ticket =
+            governor->UnspillPrefetch(std::move(readahead), out)) {
+      prefetch_pos_ = pos + 1;
+      prefetch_ticket_ = std::move(ticket);
+      prefetch_out_ = std::move(out);
+    }
+  }
+  if (page != nullptr) {
+    if (pf_ticket != nullptr) pf_ticket->TryCancel();  // stale (never expected)
+    return page;
+  }
 
   // Fault-back, outside the list lock: the SpilledPageRef pins the disk
-  // chain even if reclamation drops the slot concurrently, and the
-  // governor's store serializes its own I/O.
-  auto governor = list_->governor_;
-  lock.unlock();
-  auto page_or = governor->Unspill(*spilled);
+  // chain even if reclamation drops the slot concurrently. The read is
+  // served by the matching readahead when one is in flight; otherwise it
+  // goes through the scheduler's kFaultBack class (or synchronously when
+  // no scheduler is configured).
+  StatusOr<PageRef> page_or = Status::Internal("fault-back not attempted");
+  bool resolved = false;
+  if (pf_ticket != nullptr && pf_pos == pos) {
+    pf_ticket->Wait();
+    if (pf_out->has_value()) {
+      page_or = std::move(**pf_out);
+      resolved = true;
+    }
+    // A readahead dropped at scheduler shutdown resolves below — the
+    // chain is still on the spill store.
+  } else if (pf_ticket != nullptr) {
+    pf_ticket->TryCancel();
+  }
+  if (!resolved) page_or = governor->UnspillBlocking(spilled);
   if (!page_or.ok()) {
     SHARING_LOG(Error) << "SPL fault-back failed: "
                        << page_or.status().ToString();

@@ -38,6 +38,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/macros.h"
@@ -139,12 +140,16 @@ class SharedPagesList
   std::size_t MinReaderPosition() const;
 
   /// Governor callback: migrates up to `max_pages` resident pages no
-  /// deeper than `tier` to the spill store and returns how many were
-  /// shed. Within the allowed tiers victims are taken best fault-in odds
-  /// first (drained, then consumed newest-first, then unread
-  /// newest-first — see SpillTier). The spill I/O runs OUTSIDE the list
-  /// lock: victims stay readable while being written, and a slot
-  /// reclaimed mid-spill just drops the fresh chain.
+  /// deeper than `tier` to the spill store and returns how many spills
+  /// were *initiated*. Within the allowed tiers victims are taken best
+  /// fault-in odds first (drained, then consumed newest-first, then
+  /// unread newest-first — see SpillTier). The spill I/O runs OUTSIDE
+  /// the list lock — asynchronously on the governor's I/O scheduler when
+  /// one is configured — and a victim stays resident *and readable*
+  /// until its write is durable (the durability-before-unpin contract):
+  /// only the install step performed at write completion swaps the page
+  /// out of memory. A slot reclaimed mid-spill just drops the fresh
+  /// chain.
   std::size_t ShedForBudget(std::size_t max_pages, SpillTier tier);
 
   /// A mutually consistent view of the list, taken under one lock.
@@ -180,6 +185,12 @@ class SharedPagesList
   std::size_t MinReaderPositionLocked() const;
   std::size_t MaxReaderPositionLocked() const;
 
+  /// Completion handoff for an async spill of the page at absolute
+  /// position `pos`: installs the durable chain (releasing the resident
+  /// page) or, on a failed/skipped spill (`spilled` null), just unmarks
+  /// the victim so it stays resident. Runs on the I/O worker.
+  void InstallSpilled(std::size_t pos, SpilledPageRef spilled);
+
   /// Frees every page all readers have passed. Only legal once the attach
   /// window is sealed (a future reader could otherwise miss history).
   /// Spilled slots are deleted without being re-read.
@@ -209,12 +220,18 @@ class SharedPagesList
 /// One consumer's cursor into a SharedPagesList.
 class SplReader final : public PageSource {
  public:
-  ~SplReader() override { Cancel(); }
+  ~SplReader() override {
+    if (prefetch_ticket_ != nullptr) prefetch_ticket_->TryCancel();
+    Cancel();
+  }
   SHARING_DISALLOW_COPY_AND_MOVE(SplReader);
 
   /// Blocks for the page at this reader's cursor; nullptr at end-of-list.
   /// A spilled page is faulted back from the governor's store (bit-exact
-  /// reconstruction, charged to sp.unspill_reads).
+  /// reconstruction, charged to sp.unspill_reads) — through the I/O
+  /// scheduler's kFaultBack class when one is configured, which also
+  /// readaheads the *next* slot if it is already spilled, so a
+  /// sequential reader overlaps fault-back latency with consumption.
   PageRef Next() override;
 
   Status FinalStatus() const override;
@@ -238,6 +255,12 @@ class SplReader final : public PageSource {
   bool cancelled_ = false;
   /// Sticky fault-back failure; surfaced through FinalStatus.
   Status error_;
+  /// In-flight readahead of the next spilled slot. Touched only by this
+  /// reader's own Next()/destructor (readers are single-consumer), so it
+  /// needs no lock of its own.
+  std::size_t prefetch_pos_ = static_cast<std::size_t>(-1);
+  IoTicketRef prefetch_ticket_;
+  std::shared_ptr<std::optional<StatusOr<PageRef>>> prefetch_out_;
 };
 
 }  // namespace sharing

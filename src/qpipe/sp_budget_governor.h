@@ -27,13 +27,16 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "common/status_or.h"
+#include "io/io_scheduler.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -98,6 +101,26 @@ class SpBudgetGovernor
     uint32_t read_latency_micros = 0;
     uint32_t read_bandwidth_mib = 0;
 
+    /// Latency model charged on spill writes. With a scheduler configured
+    /// it is charged on the I/O worker, never the producer thread.
+    uint32_t write_latency_micros = 0;
+
+    /// Asynchronous I/O service for spill writes (kSpillWrite class) and
+    /// fault-back reads (kFaultBack class). Null: both run synchronously
+    /// on the calling thread (the pre-scheduler behavior). The governor
+    /// keeps only a WEAK reference: the scheduler's creator owns its
+    /// lifetime (and must Shutdown it), and queued spill jobs — which
+    /// pin the governor — must never be able to resurrect or destroy
+    /// the scheduler from one of its own workers.
+    std::shared_ptr<IoScheduler> scheduler;
+
+    /// Max spill writes in flight at once (scheduler path only). The
+    /// window bounds how far the memory tier can transiently overshoot
+    /// the budget: victims stay resident (and readable) until their
+    /// write is durable, so at most `spill_write_window` pages sit in
+    /// the "spilling but not yet released" state.
+    std::size_t spill_write_window = 16;
+
     MetricsRegistry* metrics = &MetricsRegistry::Global();
   };
 
@@ -132,10 +155,16 @@ class SpBudgetGovernor
   }
 
   /// In-memory SP pages currently beyond the budget — how many pages the
-  /// calling channel should shed. Zero when budgeting is disabled.
+  /// calling channel should shed. Computed on the *effective* retention
+  /// (EffectiveInMemoryPages): a victim whose async spill write is
+  /// already in flight leaves memory the moment it is durable, so
+  /// counting it again would double-shed. Zero when budgeting is
+  /// disabled.
   std::size_t ExcessPages() const {
     if (!enabled()) return 0;
-    int64_t now = in_memory_.load(std::memory_order_relaxed);
+    int64_t now =
+        in_memory_.load(std::memory_order_relaxed) -
+        static_cast<int64_t>(spills_in_flight_.load(std::memory_order_relaxed));
     int64_t budget = static_cast<int64_t>(options_.budget_pages);
     return now > budget ? static_cast<std::size_t>(now - budget) : 0;
   }
@@ -144,6 +173,34 @@ class SpBudgetGovernor
     int64_t now = in_memory_.load(std::memory_order_relaxed);
     return now > 0 ? static_cast<std::size_t>(now) : 0;
   }
+
+  /// Retention net of in-flight async spill writes — the pages that will
+  /// still be resident once queued spill I/O lands. The adaptive spill
+  /// preference reads this view so a burst of in-flight writes does not
+  /// double-count against the budget.
+  std::size_t EffectiveInMemoryPages() const {
+    int64_t now =
+        in_memory_.load(std::memory_order_relaxed) -
+        static_cast<int64_t>(spills_in_flight_.load(std::memory_order_relaxed));
+    return now > 0 ? static_cast<std::size_t>(now) : 0;
+  }
+
+  /// Async spill writes currently queued or running.
+  std::size_t SpillsInFlight() const {
+    return spills_in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// The in-flight window is exhausted: further SpillAsync calls would
+  /// decline, so Rebalance can stop scanning for victims.
+  bool SpillWindowFull() const {
+    return !scheduler_.expired() &&
+           SpillsInFlight() >= options_.spill_write_window;
+  }
+
+  /// The configured scheduler if it is still alive; nullptr otherwise
+  /// (never configured, or its owner already destroyed it — every async
+  /// path then falls back to synchronous I/O).
+  std::shared_ptr<IoScheduler> scheduler() const { return scheduler_.lock(); }
 
   /// Registers a list as a shed candidate for Rebalance. Expired entries
   /// are pruned opportunistically, so lists need not deregister.
@@ -155,20 +212,54 @@ class SpBudgetGovernor
   /// pages), falling back to the appender's unread tail so the budget
   /// stays a hard bound even when nothing has been read. Called by the
   /// appending list with NO list locks held — each shed takes only its
-  /// own list's lock, and the spill I/O itself runs outside it.
+  /// own list's lock, and the spill I/O itself runs outside it (on the
+  /// scheduler's kSpillWrite workers when one is configured, bounded by
+  /// spill_write_window). `appender` may be null: async write
+  /// completions re-kick Rebalance with no appender so the budget
+  /// converges after the producer has closed.
   void Rebalance(SharedPagesList* appender);
 
-  /// Serializes `page` to the spill store. Returns nullptr when the store
+  /// Serializes `page` to the spill store, synchronously on the calling
+  /// thread (scheduler workers call this as a job body; clients without
+  /// a scheduler call it directly). Returns nullptr when the store
   /// cannot be created or written (the caller keeps the page in memory —
   /// over budget beats losing data). Does NOT touch the in-memory
   /// accounting; the caller releases the page it spilled.
   SpilledPageRef Spill(const RowPage& page);
 
+  /// Asynchronous spill: schedules the serialization + writes as one
+  /// kSpillWrite job and invokes `install` with the result (nullptr on a
+  /// failed store, cancellation, or shutdown) from the worker — the
+  /// durability-before-unpin handoff: the caller keeps the page resident
+  /// until `install` delivers a durable chain. Declines (returns false,
+  /// `install` never called) when the in-flight window is full. Without
+  /// a scheduler, degenerates to the synchronous path: `install` runs
+  /// inline and the call returns true.
+  bool SpillAsync(PageRef page, std::function<void(SpilledPageRef)> install);
+
   /// Fault-back: reads a spilled page's chain and reconstructs a RowPage
   /// bit-identical to the original. The chain stays allocated (other
   /// readers may fault the same page); it is freed when the last
-  /// SpilledPageRef dies.
+  /// SpilledPageRef dies. Runs on the calling thread; demand fault-backs
+  /// should go through UnspillBlocking so the read is prioritized and
+  /// budget-throttled by the scheduler.
   StatusOr<PageRef> Unspill(const SpilledPage& spilled);
+
+  /// Demand fault-back via the scheduler's kFaultBack class: the chain
+  /// is fanned out as per-page DiskManager::ReadPageAsync jobs (so a
+  /// multi-page chain's latency-charged reads overlap across workers)
+  /// and assembled on the calling thread. Falls back to a synchronous
+  /// Unspill when no scheduler is configured or it has shut down. Must
+  /// not be called from a scheduler worker — waiting on the tickets
+  /// there could self-deadlock; workers use UnspillPrefetch jobs.
+  StatusOr<PageRef> UnspillBlocking(const SpilledPageRef& spilled);
+
+  /// Readahead fault-back: schedules the chain read and returns without
+  /// waiting; `*out` holds the result once the ticket completes. Returns
+  /// nullptr (and never touches `out`) without a scheduler.
+  IoTicketRef UnspillPrefetch(
+      SpilledPageRef spilled,
+      std::shared_ptr<std::optional<StatusOr<PageRef>>> out);
 
   /// Bytes currently held by the spill store (the sp.spill_bytes gauge).
   int64_t SpillBytes() const { return spill_bytes_->Get(); }
@@ -190,6 +281,10 @@ class SpBudgetGovernor
   Gauge* spill_bytes_;
 
   std::atomic<int64_t> in_memory_{0};
+  /// Async spill writes queued or running (bounded by spill_write_window).
+  std::atomic<std::size_t> spills_in_flight_{0};
+  /// Weak by design — see Options::scheduler.
+  std::weak_ptr<IoScheduler> scheduler_;
 
   std::mutex lists_mutex_;
   std::vector<std::weak_ptr<SharedPagesList>> lists_;

@@ -107,9 +107,17 @@ SpMode Stage::ChooseAdaptiveMode(int64_t submissions_since_last_seen) {
     if (!pull && options_.governor != nullptr && options_.governor->usable()) {
       const double avg_retention =
           static_cast<double>(sp_lag_uncapped_accumulated_.load()) / n;
-      if (avg_retention >= policy.spill_retention_factor *
-                               static_cast<double>(
-                                   options_.governor->budget_pages())) {
+      // Compare the *effective* retention: spill writes already in
+      // flight are leaving memory the moment they are durable, so
+      // charging the predicted session against the raw history as well
+      // would double-count them against the budget and latch the
+      // preference on for the duration of every async write burst.
+      const double effective_retention =
+          avg_retention -
+          static_cast<double>(options_.governor->SpillsInFlight());
+      if (effective_retention >= policy.spill_retention_factor *
+                                     static_cast<double>(
+                                         options_.governor->budget_pages())) {
         pull = spill_pull = true;
       }
     }

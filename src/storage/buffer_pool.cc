@@ -127,6 +127,13 @@ Status BufferPool::PrepareFrame(std::size_t frame_index, PageId new_page,
   return Status::OK();
 }
 
+bool BufferPool::IsResident(PageId id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = page_table_.find(id);
+  return it != page_table_.end() &&
+         frames_[it->second].state == FrameState::kReady;
+}
+
 StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

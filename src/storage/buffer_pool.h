@@ -70,6 +70,11 @@ class BufferPool {
   /// Pins page `id`, reading it from disk on a miss.
   StatusOr<PageGuard> FetchPage(PageId id);
 
+  /// True when `id` is resident and ready (no pin taken). Advisory — the
+  /// page may be evicted right after; used by scan readahead to skip
+  /// prefetching pages that would be cache hits anyway.
+  bool IsResident(PageId id) const;
+
   /// Allocates a new page on disk, pins it, and formats it for rows of
   /// `row_width` bytes. The new page id is returned through `out_id`.
   StatusOr<PageGuard> NewPage(uint32_t row_width, PageId* out_id);

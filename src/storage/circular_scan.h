@@ -11,6 +11,14 @@
 // queues (the producer paces to the slowest consumer, as QPipe throttles
 // its shared scans). A consumer may cancel early (query abort), which
 // simply detaches it.
+//
+// With an IoScheduler configured, the producer issues readahead for the
+// next `prefetch_depth` positions through the scheduler's kScanPrefetch
+// class (the highest priority: the circular stream paces *every*
+// attached consumer) instead of paying each miss inline, so under a
+// disk-latency model the page it needs next is usually already resident
+// when it gets there. Prefetch is best-effort: a failed or cancelled
+// readahead is just a future buffer-pool miss.
 
 #pragma once
 
@@ -26,6 +34,7 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "io/io_scheduler.h"
 #include "storage/buffer_pool.h"
 #include "storage/table.h"
 
@@ -46,9 +55,13 @@ using ScanPageRef = std::shared_ptr<ScanPage>;
 class CircularScanGroup {
  public:
   /// `queue_depth`: per-consumer buffered pages (backpressure window).
+  /// `scheduler` (optional): async readahead of the next `prefetch_depth`
+  /// positions at kScanPrefetch priority; null = no prefetch.
   explicit CircularScanGroup(
       const Table* table, std::size_t queue_depth = 4,
-      MetricsRegistry* metrics = &MetricsRegistry::Global());
+      MetricsRegistry* metrics = &MetricsRegistry::Global(),
+      std::shared_ptr<IoScheduler> scheduler = nullptr,
+      std::size_t prefetch_depth = 4);
   ~CircularScanGroup();
 
   SHARING_DISALLOW_COPY_AND_MOVE(CircularScanGroup);
@@ -111,11 +124,17 @@ class CircularScanGroup {
 
   void ProducerLoop();
 
+  /// Issues scheduler readahead for the positions following absolute
+  /// sequence number `seq` (producer thread only).
+  void PrefetchAhead(uint64_t seq, uint64_t n_pages);
+
   const Table* table_;
   std::size_t queue_depth_;
   MetricsRegistry* metrics_;
   Counter* pages_read_;
   Counter* shared_attach_;
+  std::shared_ptr<IoScheduler> scheduler_;
+  std::size_t prefetch_depth_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_producer_;
@@ -124,6 +143,14 @@ class CircularScanGroup {
   bool shutdown_ = false;
   bool producer_started_ = false;
   std::thread producer_;
+
+  // Prefetch state (producer thread only, no lock needed): absolute
+  // read sequence, the highest sequence already prefetched, and the
+  // outstanding tickets (bounded by prefetch_depth_; cancelled at
+  // destruction so no readahead outlives the group).
+  uint64_t read_seq_ = 0;
+  uint64_t prefetched_until_ = 0;
+  std::deque<IoTicketRef> prefetch_tickets_;
 };
 
 }  // namespace sharing

@@ -165,6 +165,24 @@ Status DiskManager::WritePage(PageId id, const uint8_t* data) {
   return Status::OK();
 }
 
+IoTicketRef DiskManager::ReadPageAsync(IoScheduler* scheduler,
+                                       IoPriority priority, PageId id,
+                                       uint8_t* out) {
+  SHARING_CHECK(scheduler != nullptr);
+  return scheduler->Submit(priority, kPageBytes,
+                           [this, id, out] { return ReadPage(id, out); });
+}
+
+IoTicketRef DiskManager::WritePageAsync(IoScheduler* scheduler,
+                                        IoPriority priority, PageId id,
+                                        std::vector<uint8_t> data) {
+  SHARING_CHECK(scheduler != nullptr);
+  SHARING_CHECK(data.size() == kPageBytes);
+  return scheduler->Submit(
+      priority, kPageBytes,
+      [this, id, data = std::move(data)] { return WritePage(id, data.data()); });
+}
+
 void DiskManager::SetLatencyModel(uint32_t read_latency_micros,
                                   uint32_t read_bandwidth_mib) {
   read_latency_micros_.store(read_latency_micros, std::memory_order_relaxed);

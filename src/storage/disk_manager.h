@@ -22,6 +22,7 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "io/io_scheduler.h"
 #include "storage/page.h"
 
 namespace sharing {
@@ -77,8 +78,24 @@ class DiskManager {
   /// model.
   Status ReadPage(PageId id, uint8_t* out);
 
-  /// Writes kPageBytes from `data` to page `id`.
+  /// Writes kPageBytes from `data` to page `id`. The write-latency model
+  /// (options.write_latency_micros) is charged on the calling thread —
+  /// which is an I/O scheduler worker when the write arrived via
+  /// WritePageAsync, keeping producer-thread timings clean.
   Status WritePage(PageId id, const uint8_t* data);
+
+  /// Submit-style async read: schedules ReadPage(id, out) on `scheduler`
+  /// under `priority`. `out` must stay valid until the ticket completes.
+  /// Returns nullptr when the scheduler has shut down (callers fall back
+  /// to the synchronous path).
+  IoTicketRef ReadPageAsync(IoScheduler* scheduler, IoPriority priority,
+                            PageId id, uint8_t* out);
+
+  /// Submit-style async write. `data` (kPageBytes) is moved into the job,
+  /// so the bytes stay alive until the write is durable; the latency
+  /// model is charged on the scheduler worker, not the submitter.
+  IoTicketRef WritePageAsync(IoScheduler* scheduler, IoPriority priority,
+                             PageId id, std::vector<uint8_t> data);
 
   uint64_t num_pages() const {
     return next_page_.load(std::memory_order_relaxed);

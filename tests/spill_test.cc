@@ -266,6 +266,19 @@ class SpillEngineTest : public ::testing::Test {
     }
   }
 
+  /// Waits until the governor's async spill writes have all landed — the
+  /// budget is only guaranteed once in-flight victims (pinned until
+  /// durable) have been installed.
+  void AwaitSpillQuiesce(QPipeEngine& engine) {
+    const auto& governor = engine.sp_governor();
+    ASSERT_NE(governor, nullptr);
+    for (int spin = 0; spin < 1000 && governor->SpillsInFlight() > 0;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(governor->SpillsInFlight(), 0u);
+  }
+
   std::unique_ptr<Database> db_;
 };
 
@@ -286,6 +299,7 @@ TEST_F(SpillEngineTest, StalledReaderHoldsBudgetAndDrainsBitExact) {
   ASSERT_TRUE(host_result.ok());
 
   AwaitProduction();
+  AwaitSpillQuiesce(engine);
   ASSERT_GT(db_->metrics()->GetCounter(metrics::kSpPagesShared)->Get(),
             static_cast<int64_t>(2 * kBudget))
       << "the scan must produce enough pages to exercise the budget";
@@ -314,6 +328,7 @@ TEST_F(SpillEngineTest, CancelledStalledReaderFreesSpill) {
   QueryHandle stalled = engine.Submit(ScanPlan());
   ASSERT_TRUE(host.Collect().ok());
   AwaitProduction();
+  AwaitSpillQuiesce(engine);
 
   stalled.Cancel();
   // Cancellation releases the stalled reader's hold; spilled chains are
