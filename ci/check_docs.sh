@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Docs hygiene gate, run by ci/verify.sh:
+#   1. Relative markdown links in README.md, DESIGN.md, docs/*.md and
+#      examples/README.md must resolve to existing files.
+#   2. Every field of QPipeOptions (src/qpipe/engine.h) and EngineConfig
+#      (src/core/sharing_engine.h) must be named in docs/KNOBS.md.
+#   3. Every canonical metric name in src/common/metrics.h must be named
+#      in docs/METRICS.md.
+# The point: the documentation surface cannot silently rot as knobs and
+# metrics are added.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. dead relative links -------------------------------------------------
+for f in README.md DESIGN.md docs/*.md examples/README.md; do
+  [[ -f "$f" ]] || continue
+  dir=$(dirname "$f")
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "docs-check: dead link in $f -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//')
+done
+
+# --- 2. knob coverage -------------------------------------------------------
+# Extract member names of a top-level struct: lines at brace depth 1 that
+# declare a field (no '(', ends in ';'), taking the last identifier before
+# the default/semicolon. Nested function bodies (e.g. AllSp) sit at depth
+# >= 2 and are skipped.
+extract_fields() {
+  local file="$1" struct="$2"
+  awk -v s="$struct" '
+    $0 ~ "^struct[ \t]+" s "[ \t]*\\{" { in_struct = 1; depth = 1; next }
+    in_struct {
+      line = $0
+      if (depth == 1 && line !~ /\(/ && line !~ /^[ \t]*\/\// &&
+          line ~ /;[ \t]*$/) {
+        sub(/=.*/, "", line)
+        sub(/;.*/, "", line)
+        gsub(/[ \t]+$/, "", line)
+        n = split(line, parts, /[ \t]+/)
+        name = parts[n]
+        if (name ~ /^[a-z_][a-z0-9_]*$/) print name
+      }
+      # count braces on the ORIGINAL line ($0), not the stripped copy
+      o = gsub(/\{/, "{"); c = gsub(/\}/, "}")
+      depth += o - c
+      if (depth <= 0) in_struct = 0
+    }
+  ' "$file"
+}
+
+check_knobs() {
+  local file="$1" struct="$2"
+  local name
+  while IFS= read -r name; do
+    [[ -z "$name" ]] && continue
+    if ! grep -qw "$name" docs/KNOBS.md; then
+      echo "docs-check: $struct::$name ($file) missing from docs/KNOBS.md"
+      fail=1
+    fi
+  done < <(extract_fields "$file" "$struct")
+}
+
+check_knobs src/qpipe/engine.h QPipeOptions
+check_knobs src/core/sharing_engine.h EngineConfig
+check_knobs src/qpipe/stage.h AdaptiveSpPolicy
+check_knobs src/qpipe/cost_model.h CostModelOptions
+
+# --- 3. metric coverage -----------------------------------------------------
+while IFS= read -r metric; do
+  [[ -z "$metric" ]] && continue
+  if ! grep -qF "\`$metric\`" docs/METRICS.md; then
+    echo "docs-check: metric $metric (src/common/metrics.h) missing from docs/METRICS.md"
+    fail=1
+  fi
+done < <(grep -oE '"[a-z_.]+"' src/common/metrics.h | tr -d '"')
+
+if [[ $fail -ne 0 ]]; then
+  echo "docs-check: FAILED"
+  exit 1
+fi
+echo "docs-check: OK"

@@ -15,6 +15,9 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }
 
+echo "=== docs: dead links + knob/metric coverage ==="
+ci/check_docs.sh
+
 echo "=== tier-1: release build + ctest ==="
 run_suite build
 
@@ -30,6 +33,14 @@ echo "=== io scheduler ablation (smoke) -> BENCH_io.json ==="
 # regime; append wall must stay flat while drain pays the read model.
 SHARING_BENCH_SF=0.1 SHARING_BENCH_JSON=BENCH_io.json \
   ./build/bench_ablation_io
+
+echo "=== adaptive admission ablation (smoke) -> BENCH_adaptive.json ==="
+# Hot/cold mix under the four static modes, then the heterogeneous-
+# signature sweep: the per-signature cost model must choose different
+# transports for the skinny vs fat templates on ONE stage (the binary
+# exits nonzero if the decisions do not diverge).
+SHARING_BENCH_SF=0.02 SHARING_BENCH_JSON=BENCH_adaptive.json \
+  ./build/bench_ablation_adaptive
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "=== tier-1 under AddressSanitizer ==="

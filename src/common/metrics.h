@@ -90,6 +90,19 @@ class Gauge {
     }
   }
   void Sub(int64_t delta) { Add(-delta); }
+
+  /// Overwrites the value (last writer wins) and updates the high-water
+  /// mark. For gauges with "most recent observation" semantics (e.g.
+  /// policy.confidence) as opposed to the Add/Sub accounting gauges.
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    int64_t hwm = high_water_.load(std::memory_order_relaxed);
+    while (value > hwm &&
+           !high_water_.compare_exchange_weak(hwm, value,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
   int64_t Get() const { return value_.load(std::memory_order_relaxed); }
 
   /// Largest value ever observed (never reset; scope with snapshots).
@@ -166,6 +179,26 @@ inline constexpr const char* kIoReadsIssued = "io.reads_issued";
 inline constexpr const char* kIoWritesIssued = "io.writes_issued";
 inline constexpr const char* kIoQueueDepth = "io.queue_depth";  // gauge
 inline constexpr const char* kIoStallMicros = "io.stall_micros";
+// Per-priority-class scheduler visibility (the aggregates above hide
+// which class is backed up or starved).
+inline constexpr const char* kIoQueueDepthPrefetch =
+    "io.queue_depth.prefetch";  // gauge
+inline constexpr const char* kIoQueueDepthFaultback =
+    "io.queue_depth.faultback";  // gauge
+inline constexpr const char* kIoQueueDepthSpill =
+    "io.queue_depth.spill";  // gauge
+inline constexpr const char* kIoStallMicrosPrefetch =
+    "io.stall_micros.prefetch";
+inline constexpr const char* kIoStallMicrosFaultback =
+    "io.stall_micros.faultback";
+inline constexpr const char* kIoStallMicrosSpill = "io.stall_micros.spill";
+// Adaptive-admission cost model (see qpipe/cost_model.h).
+inline constexpr const char* kPolicyDecisionsShared =
+    "policy.decisions_shared";
+inline constexpr const char* kPolicyDecisionsUnshared =
+    "policy.decisions_unshared";
+inline constexpr const char* kPolicyFlips = "policy.flips";
+inline constexpr const char* kPolicyConfidence = "policy.confidence";  // gauge
 inline constexpr const char* kCjoinFactTuplesIn = "cjoin.fact_tuples_in";
 inline constexpr const char* kCjoinTuplesOut = "cjoin.tuples_out";
 inline constexpr const char* kCjoinTuplesDropped = "cjoin.tuples_dropped";

@@ -30,6 +30,9 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.stage_max_workers = config_.stage_max_workers;
   qopts.fifo_capacity = config_.fifo_capacity;
   qopts.adaptive = config_.adaptive;
+  qopts.cost_model_history = config_.cost_model_history;
+  qopts.cost_model_min_samples = config_.cost_model_min_samples;
+  qopts.cost_model_debug = config_.cost_model_debug;
   qopts.sp_memory_budget = config_.sp_memory_budget;
   qopts.sp_spill_path = config_.sp_spill_path;
   qopts.io_threads = config_.io_threads;
@@ -46,10 +49,15 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
     Stage::Options sopts;
     sopts.initial_workers = config_.stage_workers;
     sopts.fifo_capacity = config_.fifo_capacity;
-    // The CJOIN stage shares the engine's adaptive thresholds and memory
-    // governor: its sharing sessions count against the same SP budget
-    // and spill through the same store as every QPipe stage.
+    // The CJOIN stage shares the engine's adaptive thresholds, cost
+    // model tuning and memory governor: its sharing sessions count
+    // against the same SP budget and spill through the same store as
+    // every QPipe stage.
     sopts.adaptive = config_.adaptive;
+    sopts.cost_model.history = config_.cost_model_history;
+    sopts.cost_model.min_samples = config_.cost_model_min_samples;
+    sopts.cost_model.debug = config_.cost_model_debug;
+    sopts.cost_model.capacity = config_.adaptive.popularity_capacity;
     sopts.governor = qpipe_->sp_governor();
     cjoin_stage_ = AttachCJoinToEngine(qpipe_.get(), pipeline_.get(), sopts);
   }

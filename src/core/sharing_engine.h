@@ -51,8 +51,17 @@ struct EngineConfig {
   std::size_t fifo_capacity = 8;
 
   /// Thresholds for the adaptive SP admission policy (kSpAdaptive mode,
-  /// or any stage later switched to SpMode::kAdaptive).
+  /// or any stage later switched to SpMode::kAdaptive). Fallback only
+  /// once a signature has cost-model history — see the knobs below.
   AdaptiveSpPolicy adaptive;
+
+  /// Per-signature admission cost model (see QPipeOptions for full
+  /// semantics): ring-buffer history per packet signature, minimum
+  /// samples before the model overrides the stage-wide thresholds, and
+  /// a per-decision debug dump.
+  std::size_t cost_model_history = 32;
+  std::size_t cost_model_min_samples = 3;
+  bool cost_model_debug = false;
 
   /// Engine-wide in-memory SP page budget for pull-model retention
   /// (0 = unbounded). Over budget, sharing channels spill

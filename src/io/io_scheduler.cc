@@ -61,6 +61,14 @@ IoScheduler::IoScheduler(Options options)
       writes_issued_(options_.metrics->GetCounter(metrics::kIoWritesIssued)),
       stall_micros_(options_.metrics->GetCounter(metrics::kIoStallMicros)),
       queue_depth_(options_.metrics->GetGauge(metrics::kIoQueueDepth)),
+      class_queue_depth_{
+          options_.metrics->GetGauge(metrics::kIoQueueDepthPrefetch),
+          options_.metrics->GetGauge(metrics::kIoQueueDepthFaultback),
+          options_.metrics->GetGauge(metrics::kIoQueueDepthSpill)},
+      class_stall_micros_{
+          options_.metrics->GetCounter(metrics::kIoStallMicrosPrefetch),
+          options_.metrics->GetCounter(metrics::kIoStallMicrosFaultback),
+          options_.metrics->GetCounter(metrics::kIoStallMicrosSpill)},
       rate_bytes_per_sec_(static_cast<double>(options_.budget_mib_per_sec) *
                           kMiB),
       burst_bytes_(std::max(kMinBurstBytes, rate_bytes_per_sec_ / 4.0)) {
@@ -85,10 +93,11 @@ IoTicketRef IoScheduler::Submit(IoPriority priority, std::size_t bytes,
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) return nullptr;
     queues_[static_cast<std::size_t>(priority)].push_back(
-        Job{ticket, bytes, std::move(work), std::move(on_skip)});
+        Job{ticket, priority, bytes, std::move(work), std::move(on_skip)});
     // Inside the lock: a worker Subs under the same lock at pop time, so
-    // the gauge can never transiently go negative or miss a peak.
+    // the gauges can never transiently go negative or miss a peak.
     queue_depth_->Add(1);
+    class_queue_depth_[static_cast<std::size_t>(priority)]->Add(1);
   }
   if (IsReadClass(priority)) {
     reads_issued_->Increment();
@@ -134,6 +143,7 @@ void IoScheduler::WorkerLoop() {
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
     bool throttled_jobs = false;
+    std::array<bool, kIoPriorityClasses> class_throttled{};
     // Timed-wait bound when every non-empty class is throttled: the
     // earliest bucket recovery, capped at 1ms so a fresh submission to
     // an affordable class is picked up promptly even if its notify
@@ -155,6 +165,7 @@ void IoScheduler::WorkerLoop() {
         Job job = std::move(queue.front());
         queue.pop_front();
         queue_depth_->Sub(1);
+        class_queue_depth_[cls]->Sub(1);
         lock.unlock();  // skip hooks may take client locks
         if (job.on_skip) job.on_skip();
         FinishJob(std::move(job), Status::Aborted("io job cancelled"));
@@ -171,6 +182,7 @@ void IoScheduler::WorkerLoop() {
       const bool affordable = rate_bytes_per_sec_ <= 0 || bucket.tokens > 0;
       if (!affordable) {
         throttled_jobs = true;
+        class_throttled[cls] = true;
         min_token_wait = std::min(
             min_token_wait,
             std::chrono::microseconds(
@@ -181,6 +193,7 @@ void IoScheduler::WorkerLoop() {
       Job job = std::move(queue.front());
       queue.pop_front();
       queue_depth_->Sub(1);
+      class_queue_depth_[cls]->Sub(1);
       // Claim atomically against TryCancel: once state_ is kRunning a
       // concurrent TryCancel returns false, so "TryCancel returned true"
       // really does guarantee the work never runs.
@@ -212,10 +225,17 @@ void IoScheduler::WorkerLoop() {
       const auto t0 = std::chrono::steady_clock::now();
       cv_.wait_for(lock, min_token_wait);
       if (account) {
-        stall_micros_->Add(
+        const int64_t waited =
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - t0)
-                .count());
+                .count();
+        stall_micros_->Add(waited);
+        // Attribute the same wall-clock window to every class that had
+        // work pending on a dry bucket: per-class stalls answer "who is
+        // starved", not "how much total" (that's the aggregate above).
+        for (std::size_t cls = 0; cls < kIoPriorityClasses; ++cls) {
+          if (class_throttled[cls]) class_stall_micros_[cls]->Add(waited);
+        }
         stall_accounted_.store(false);
       }
       continue;
@@ -246,6 +266,7 @@ void IoScheduler::Shutdown() {
   // SharedPagesList unmarking an in-flight spill victim).
   for (auto& job : dropped) {
     queue_depth_->Sub(1);
+    class_queue_depth_[static_cast<std::size_t>(job.priority)]->Sub(1);
     if (job.on_skip) job.on_skip();
     FinishJob(std::move(job), Status::Aborted("io scheduler shut down"));
   }

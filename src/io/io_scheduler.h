@@ -28,8 +28,11 @@
 //
 // Observability: `io.reads_issued` / `io.writes_issued` (jobs submitted
 // per direction), `io.queue_depth` (gauge over queued-not-yet-running
-// jobs, with high-water mark), `io.stall_micros` (token-bucket waits).
-// See DESIGN.md decision #9.
+// jobs, with high-water mark), `io.stall_micros` (token-bucket waits) —
+// plus the per-class views `io.queue_depth.{prefetch,faultback,spill}`
+// and `io.stall_micros.{prefetch,faultback,spill}`, which say *which*
+// class is backed up or starved when the aggregates only say "some".
+// See DESIGN.md decision #9 and docs/METRICS.md.
 //
 // Ownership: the scheduler's creator owns its lifetime and must call
 // Shutdown() (or let the destructor run, on a non-worker thread) when
@@ -166,6 +169,7 @@ class IoScheduler {
  private:
   struct Job {
     IoTicketRef ticket;
+    IoPriority priority = IoPriority::kSpillWrite;
     std::size_t bytes = 0;
     IoFn work;
     std::function<void()> on_skip;
@@ -194,6 +198,9 @@ class IoScheduler {
   Counter* writes_issued_;
   Counter* stall_micros_;
   Gauge* queue_depth_;
+  /// Per-class views of the two aggregates above, indexed by IoPriority.
+  std::array<Gauge*, kIoPriorityClasses> class_queue_depth_;
+  std::array<Counter*, kIoPriorityClasses> class_stall_micros_;
 
   const double rate_bytes_per_sec_;
   const double burst_bytes_;

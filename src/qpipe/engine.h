@@ -42,8 +42,25 @@ struct QPipeOptions {
   std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
 
   /// Thresholds for SpMode::kAdaptive (per-packet off/push/pull choice),
-  /// applied to every stage running in adaptive mode.
+  /// applied to every stage running in adaptive mode. With enough
+  /// per-signature history these thresholds are superseded by the cost
+  /// model below; they remain the fallback for thin-history signatures.
   AdaptiveSpPolicy adaptive;
+
+  /// Per-signature cost model (SpMode::kAdaptive): ring-buffer history
+  /// kept per packet signature (arrival gaps, work per packet, session
+  /// outcomes). Small histories adapt fast, large ones smooth bursts.
+  std::size_t cost_model_history = 32;
+
+  /// Closed sessions AND work samples a signature needs before the cost
+  /// model decides for it; below this the stage-wide `adaptive`
+  /// thresholds decide. 0 is clamped to 1 (a model with no history
+  /// would divide by zero conceptually, not literally).
+  std::size_t cost_model_min_samples = 3;
+
+  /// Log every cost-model decision (signature, cost estimates, chosen
+  /// mode, confidence) — the admission hot path's debug dump.
+  bool cost_model_debug = false;
 
   /// Engine-wide in-memory SP page budget (pull-model retention across
   /// every stage's sharing channels). 0 = unbounded. When the budget is

@@ -1,17 +1,32 @@
 #include "qpipe/stage.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace sharing {
+
+namespace {
+
+/// Monotonic micros for the cost model's arrival clock.
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Stage::Stage(std::string name, Options options, MetricsRegistry* metrics)
     : name_(std::move(name)),
       options_(options),
       metrics_(metrics),
       sp_opportunities_(metrics->GetCounter(metrics::kSpOpportunities)),
+      cost_model_(
+          std::make_unique<SharingCostModel>(options.cost_model, metrics)),
       pool_(options.initial_workers, options.max_workers) {}
 
 Stage::~Stage() { Shutdown(); }
@@ -42,6 +57,7 @@ StageStats Stage::GetStats() const {
   stats.adaptive_push = adaptive_push_.load();
   stats.adaptive_pull = adaptive_pull_.load();
   stats.adaptive_pull_spill = adaptive_pull_spill_.load();
+  stats.adaptive_off_cold = adaptive_off_cold_.load();
   return stats;
 }
 
@@ -70,12 +86,45 @@ int64_t Stage::RecordSubmissionLocked(uint64_t sig) {
   return gap;
 }
 
-SpMode Stage::ChooseAdaptiveMode(int64_t submissions_since_last_seen) {
+SpMode Stage::ChooseAdaptiveMode(uint64_t sig,
+                                 int64_t submissions_since_last_seen) {
   const AdaptiveSpPolicy& policy = options_.adaptive;
   if (submissions_since_last_seen > policy.popularity_window) {
     adaptive_off_.fetch_add(1, std::memory_order_relaxed);
+    adaptive_off_cold_.fetch_add(1, std::memory_order_relaxed);
     return SpMode::kOff;
   }
+  // Hot signature: ask its cost model. With enough history the decision
+  // is per-signature — a cheap template and an expensive one on the same
+  // stage get *different* admissions, which stage-wide means cannot do.
+  CostModelEnvironment env;
+  env.fifo_capacity = options_.fifo_capacity;
+  if (options_.governor != nullptr) {
+    env.budget_pages = options_.governor->budget_pages();
+    env.spill_usable = options_.governor->usable();
+  }
+  const CostDecision decision = cost_model_->Decide(sig, env);
+  if (decision.from_model) {
+    switch (decision.mode) {
+      case SpMode::kOff:
+        adaptive_off_.fetch_add(1, std::memory_order_relaxed);
+        return SpMode::kOff;
+      case SpMode::kPush:
+        adaptive_push_.fetch_add(1, std::memory_order_relaxed);
+        return SpMode::kPush;
+      default:
+        adaptive_pull_.fetch_add(1, std::memory_order_relaxed);
+        if (decision.spill_preferred) {
+          adaptive_pull_spill_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return SpMode::kPull;
+    }
+  }
+  return ChooseFallbackMode();
+}
+
+SpMode Stage::ChooseFallbackMode() {
+  const AdaptiveSpPolicy& policy = options_.adaptive;
   const int64_t sessions = sp_sessions_closed_.load(std::memory_order_relaxed);
   // No session history yet: host with pull, the transport that keeps the
   // widest attach window and never blocks the producer on a slow copy.
@@ -131,7 +180,22 @@ SpMode Stage::ChooseAdaptiveMode(int64_t submissions_since_last_seen) {
   return SpMode::kPush;
 }
 
-void Stage::RecordSessionClose(const SharingChannel::Stats& stats) {
+void Stage::RecordSessionClose(uint64_t sig,
+                               const SharingChannel::Stats& stats) {
+  // The signature's ring buffer sees the raw session outcome: the lag is
+  // FIFO-capped (the push-convoy signal), the retention is not (the
+  // spill-demand signal) — the same two views the stage-wide fold below
+  // keeps, but attributable to this signature alone.
+  SignatureStats::SessionSample sample;
+  sample.satellites = stats.readers_attached > 1
+                          ? static_cast<double>(stats.readers_attached - 1)
+                          : 0.0;
+  sample.pages = static_cast<double>(stats.pages_produced);
+  sample.lag = static_cast<double>(
+      std::min(stats.max_consumer_lag, options_.fifo_capacity));
+  sample.retention = static_cast<double>(stats.max_consumer_lag);
+  cost_model_->RecordSession(sig, sample);
+
   sp_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
   if (stats.readers_attached > 1) {
     sp_satellites_served_.fetch_add(
@@ -177,7 +241,10 @@ PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
     // sharing mode, whichever transport the host happens to use. (kOff
     // submissions skip the registry entirely — no lock on that path.)
     std::lock_guard<std::mutex> lock(registry_mutex_);
-    if (configured == SpMode::kAdaptive) gap = RecordSubmissionLocked(sig);
+    if (configured == SpMode::kAdaptive) {
+      gap = RecordSubmissionLocked(sig);
+      cost_model_->RecordArrival(sig, NowMicros());
+    }
     auto it = channels_.find(sig);
     if (it != channels_.end()) {
       if (PageSourceRef reader = it->second->AttachReader()) {
@@ -192,17 +259,19 @@ PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
   }
 
   SpMode mode = configured;
-  if (configured == SpMode::kAdaptive) mode = ChooseAdaptiveMode(gap);
+  if (configured == SpMode::kAdaptive) mode = ChooseAdaptiveMode(sig, gap);
   return SubmitFresh(std::move(node), std::move(ctx), make_inputs, prepare,
-                     mode);
+                     mode, configured == SpMode::kAdaptive);
 }
 
 PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
                                  const MakeInputsFn& make_inputs,
-                                 const PreparePacketFn& prepare, SpMode mode) {
+                                 const PreparePacketFn& prepare, SpMode mode,
+                                 bool record_work) {
   if (mode == SpMode::kOff) {
     auto fifo = std::make_shared<FifoBuffer>(options_.fifo_capacity);
-    Enqueue(std::move(node), std::move(ctx), fifo, make_inputs, prepare);
+    Enqueue(std::move(node), std::move(ctx), fifo, make_inputs, prepare,
+            record_work);
     return fifo;
   }
 
@@ -216,7 +285,7 @@ PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
   // but the channel is constructed after the hook — bridge with a slot.
   auto self_slot = std::make_shared<std::weak_ptr<SharingChannel>>();
   copts.on_close = [this, sig, self_slot](const SharingChannel::Stats& stats) {
-    RecordSessionClose(stats);
+    RecordSessionClose(sig, stats);
     std::lock_guard<std::mutex> lock(registry_mutex_);
     auto it = channels_.find(sig);
     if (it != channels_.end() && it->second == self_slot->lock()) {
@@ -232,13 +301,14 @@ PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
     std::lock_guard<std::mutex> lock(registry_mutex_);
     channels_[sig] = channel;
   }
-  Enqueue(std::move(node), std::move(ctx), channel, make_inputs, prepare);
+  Enqueue(std::move(node), std::move(ctx), channel, make_inputs, prepare,
+          record_work);
   return host_reader;
 }
 
 void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
                     const MakeInputsFn& make_inputs,
-                    const PreparePacketFn& prepare) {
+                    const PreparePacketFn& prepare, bool record_work) {
   auto packet = std::make_shared<Packet>();
   packet->node = std::move(node);
   packet->ctx = std::move(ctx);
@@ -247,7 +317,21 @@ void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
   if (prepare) prepare(*packet);
 
   packets_executed_.fetch_add(1, std::memory_order_relaxed);
-  bool ok = pool_.Submit([this, packet] { RunPacket(*packet); });
+  // Observed packet wall time — the W of the signature's cost model.
+  // Wall (not CPU) deliberately: a packet convoyed on output
+  // backpressure is exactly the work a satellite is spared. Captured at
+  // submission (`record_work` = stage was adaptive): a static stage must
+  // not pay a per-packet lock + ring push to grow history nothing reads.
+  bool ok = pool_.Submit([this, packet, record_work] {
+    if (!record_work) {
+      RunPacket(*packet);
+      return;
+    }
+    Stopwatch watch;
+    RunPacket(*packet);
+    cost_model_->RecordExecution(packet->node->Signature(),
+                                 static_cast<double>(watch.ElapsedMicros()));
+  });
   if (!ok) {
     for (const auto& input : packet->inputs) input->CancelConsumer();
     packet->output->Close(Status::Aborted("stage shut down"));

@@ -14,9 +14,13 @@
 //    SharedPagesList and reads the shared pages from the beginning; the
 //    attach window stays open for the host's entire production.
 //  * adaptive mode: the stage picks off/push/pull per packet from live
-//    stats — signature popularity decides *whether* to host a sharing
-//    channel at all, and per-session history (satellite count, result
-//    size, consumer lag) decides *which* transport to host with.
+//    stats — signature popularity decides *whether* a packet is worth
+//    considering for sharing at all, and the per-signature cost model
+//    (qpipe/cost_model.h: arrival rate, work per packet, satellite
+//    count, result size, consumer lag, spill retention) decides whether
+//    sharing actually pays and *which* transport to host with. While a
+//    signature's history is below cost_model.min_samples the stage-wide
+//    AdaptiveSpPolicy thresholds decide instead.
 
 #pragma once
 
@@ -32,6 +36,7 @@
 
 #include "common/elastic_pool.h"
 #include "common/metrics.h"
+#include "qpipe/cost_model.h"
 #include "qpipe/fifo_buffer.h"
 #include "qpipe/packet.h"
 #include "qpipe/sharing_channel.h"
@@ -103,6 +108,11 @@ struct StageStats {
   int64_t adaptive_off = 0;
   int64_t adaptive_push = 0;
   int64_t adaptive_pull = 0;
+  /// Subset of adaptive_off gated by the popularity window (cold, never
+  /// repeated recently) rather than decided by the cost model. The
+  /// difference adaptive_off - adaptive_off_cold is "hot but sharing
+  /// does not pay" — the regime only a cost model can detect.
+  int64_t adaptive_off_cold = 0;
   /// Subset of adaptive_pull chosen by the spill preference: lag history
   /// predicted retention above the SP memory budget, so the packet was
   /// hosted pull + spill instead of push.
@@ -126,6 +136,13 @@ class Stage {
     std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
 
     AdaptiveSpPolicy adaptive;
+
+    /// Per-signature history + cost model behind SpMode::kAdaptive (see
+    /// qpipe/cost_model.h). The popularity window above still gates
+    /// *whether* a signature is worth considering; the model decides
+    /// off/push/pull once a signature has enough history, falling back
+    /// to the stage-wide AdaptiveSpPolicy thresholds below min_samples.
+    CostModelOptions cost_model;
 
     /// Engine-wide SP memory governor shared by every stage of an engine;
     /// pull channels spill retention beyond its budget to disk. Null:
@@ -160,6 +177,15 @@ class Stage {
   const std::string& name() const { return name_; }
   StageStats GetStats() const;
 
+  /// Per-signature cost-model view (bench / test surface): every tracked
+  /// signature's history means and decision counts.
+  std::vector<SharingCostModel::SignatureSnapshot> CostModelSnapshot() const {
+    return cost_model_->Snapshot();
+  }
+
+  /// Human-readable per-signature dump (the cost_model_debug surface).
+  std::string CostModelDump() const { return cost_model_->DebugDump(); }
+
   /// Drains and joins the worker pool (also run by the destructor).
   void Shutdown();
 
@@ -168,24 +194,34 @@ class Stage {
   virtual void RunPacket(Packet& packet) = 0;
 
  private:
+  /// `record_work` = the stage was configured adaptive at submission:
+  /// the packet's wall time feeds the signature's cost-model history.
   PageSourceRef SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
                             const MakeInputsFn& make_inputs,
-                            const PreparePacketFn& prepare, SpMode mode);
+                            const PreparePacketFn& prepare, SpMode mode,
+                            bool record_work);
 
   void Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
                const MakeInputsFn& make_inputs,
-               const PreparePacketFn& prepare);
+               const PreparePacketFn& prepare, bool record_work);
 
   /// Records a submission of `sig` and returns how many stage submissions
   /// happened since it was last seen (INT64_MAX for the first sighting).
   /// Only called in adaptive mode; requires registry_mutex_ held.
   int64_t RecordSubmissionLocked(uint64_t sig);
 
-  /// The adaptive per-packet decision for a fresh (non-attaching) packet.
-  SpMode ChooseAdaptiveMode(int64_t submissions_since_last_seen);
+  /// The adaptive per-packet decision for a fresh (non-attaching) packet:
+  /// popularity gate, then the signature's cost model, then the
+  /// stage-wide threshold fallback while history is thin.
+  SpMode ChooseAdaptiveMode(uint64_t sig, int64_t submissions_since_last_seen);
 
-  /// Folds a closed channel's stats into the adaptive history.
-  void RecordSessionClose(const SharingChannel::Stats& stats);
+  /// The stage-wide threshold heuristic — the fallback while a
+  /// signature's history is below cost_model.min_samples.
+  SpMode ChooseFallbackMode();
+
+  /// Folds a closed channel's stats into the adaptive history (stage-wide
+  /// means and the signature's ring buffer).
+  void RecordSessionClose(uint64_t sig, const SharingChannel::Stats& stats);
 
   std::string name_;
   mutable std::mutex mode_mutex_;
@@ -206,6 +242,13 @@ class Stage {
   std::atomic<int64_t> adaptive_push_{0};
   std::atomic<int64_t> adaptive_pull_{0};
   std::atomic<int64_t> adaptive_pull_spill_{0};
+  std::atomic<int64_t> adaptive_off_cold_{0};
+
+  /// Per-signature history + admission cost model. Session outcomes are
+  /// recorded in every sharing mode (sessions are rare and give a stage
+  /// switched to kAdaptive warm history); per-packet work timing only in
+  /// adaptive mode (it costs a mutex + ring push per packet).
+  std::unique_ptr<SharingCostModel> cost_model_;
 
   std::mutex registry_mutex_;
   /// In-flight sharing sessions by plan signature, transport-agnostic.
