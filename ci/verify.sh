@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite from a
-# clean tree, then repeat under AddressSanitizer. Usage:
-#   ci/verify.sh          # tier-1 + ASan
+# clean tree, then repeat under AddressSanitizer and run the concurrency
+# suites under ThreadSanitizer. Usage:
+#   ci/verify.sh          # tier-1 + ASan + TSan
 #   ci/verify.sh --fast   # tier-1 only
 set -euo pipefail
 
@@ -42,9 +43,27 @@ echo "=== adaptive admission ablation (smoke) -> BENCH_adaptive.json ==="
 SHARING_BENCH_SF=0.02 SHARING_BENCH_JSON=BENCH_adaptive.json \
   ./build/bench_ablation_adaptive
 
+echo "=== contention ablation (smoke) -> BENCH_contention.json ==="
+# One producer x 1..32 pull readers, resident + spill-pressure configs.
+# The binary exits nonzero unless the 16-reader aggregate is >= 4x the
+# single-reader aggregate and the producer's per-append CPU p99 stays
+# within 2x at 32 readers (the lock-free SPL hot-path gates).
+SHARING_BENCH_SF=0.25 SHARING_BENCH_JSON=BENCH_contention.json \
+  ./build/bench_ablation_contention
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "=== tier-1 under AddressSanitizer ==="
   run_suite build-asan -DSHARING_ASAN=ON
+
+  echo "=== concurrency suites under ThreadSanitizer ==="
+  # The sharing hot path is lock-free by design; TSan proves the seqlock
+  # publication, parking handshake, and spill-install races are sound.
+  # Scoped to the concurrency-heavy suites — the full matrix under TSan
+  # would dominate verify wall time without exercising new interleavings.
+  cmake -B build-tsan -S . -DSHARING_TSAN=ON
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'SharingChannelTest|PushChannelTest|PullChannelTest|SpillChannelTest|SplContentionTest|BatchPipeTest|SplTest|FifoBufferTest|AsyncSpillTest|SpillEngineTest|SpBudgetGovernorTest|IoSchedulerTest|CircularScanPrefetchTest'
 fi
 
 echo "verify: OK"

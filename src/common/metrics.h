@@ -19,9 +19,18 @@
 
 namespace sharing {
 
+/// One cache line: hot metric objects are padded and aligned to it so
+/// two independently updated counters allocated back-to-back (the
+/// registry allocates each separately, but small allocations share
+/// malloc bins) never false-share a line — a counter bump on one core
+/// must not invalidate an unrelated counter's line on another.
+inline constexpr std::size_t kMetricCacheLine = 64;
+
 /// A single monotonic counter. Thread-safe, relaxed ordering (metrics are
-/// advisory, never used for synchronization).
-class Counter {
+/// advisory, never used for synchronization). Cache-line padded: hot
+/// counters like `sp.pages_retained`'s neighbors are updated from many
+/// threads at once.
+class alignas(kMetricCacheLine) Counter {
  public:
   Counter() = default;
   SHARING_DISALLOW_COPY_AND_MOVE(Counter);
@@ -31,8 +40,11 @@ class Counter {
   int64_t Get() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // alignas on the class rounds sizeof up to the full line — no manual
+  // padding needed (the static_assert pins it).
   std::atomic<int64_t> value_{0};
 };
+static_assert(sizeof(Counter) == kMetricCacheLine);
 
 /// A lock-free log-bucketed histogram for latency-style measurements.
 /// Values are bucketed by power-of-two magnitude (64 buckets cover the
@@ -75,8 +87,10 @@ class Histogram {
 
 /// A bidirectional instantaneous value (e.g. pages currently retained by a
 /// sharing channel) that also tracks its high-water mark. Thread-safe,
-/// relaxed ordering like Counter.
-class Gauge {
+/// relaxed ordering like Counter, and cache-line padded like it (the
+/// value and its high-water mark share one line by design — they are
+/// always touched together).
+class alignas(kMetricCacheLine) Gauge {
  public:
   Gauge() = default;
   SHARING_DISALLOW_COPY_AND_MOVE(Gauge);
@@ -114,6 +128,7 @@ class Gauge {
   std::atomic<int64_t> value_{0};
   std::atomic<int64_t> high_water_{0};
 };
+static_assert(sizeof(Gauge) == kMetricCacheLine);
 
 /// A point-in-time copy of all counters in a registry.
 using MetricsSnapshot = std::map<std::string, int64_t>;
@@ -175,6 +190,10 @@ inline constexpr const char* kSpPagesReclaimed = "sp.pages_reclaimed";
 inline constexpr const char* kSpPagesSpilled = "sp.pages_spilled";
 inline constexpr const char* kSpSpillBytes = "sp.spill_bytes";  // gauge
 inline constexpr const char* kSpUnspillReads = "sp.unspill_reads";
+// SPL hot-path contention: how often readers left the lock-free fast
+// path (took the list mutex) or blocked on the producer entirely.
+inline constexpr const char* kSpLockWaits = "sp.lock_waits";
+inline constexpr const char* kSpReaderParks = "sp.reader_parks";
 inline constexpr const char* kIoReadsIssued = "io.reads_issued";
 inline constexpr const char* kIoWritesIssued = "io.writes_issued";
 inline constexpr const char* kIoQueueDepth = "io.queue_depth";  // gauge
@@ -199,6 +218,12 @@ inline constexpr const char* kPolicyDecisionsUnshared =
     "policy.decisions_unshared";
 inline constexpr const char* kPolicyFlips = "policy.flips";
 inline constexpr const char* kPolicyConfidence = "policy.confidence";  // gauge
+// Online transport-cost measurements (EWMA, nanoseconds) replacing the
+// cost model's fixed copy/attach constants once samples exist.
+inline constexpr const char* kPolicyMeasuredCopyNs =
+    "policy.measured_copy_ns";  // gauge
+inline constexpr const char* kPolicyMeasuredAttachNs =
+    "policy.measured_attach_ns";  // gauge
 inline constexpr const char* kCjoinFactTuplesIn = "cjoin.fact_tuples_in";
 inline constexpr const char* kCjoinTuplesOut = "cjoin.tuples_out";
 inline constexpr const char* kCjoinTuplesDropped = "cjoin.tuples_dropped";

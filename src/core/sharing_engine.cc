@@ -29,6 +29,7 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.stage_workers = config_.stage_workers;
   qopts.stage_max_workers = config_.stage_max_workers;
   qopts.fifo_capacity = config_.fifo_capacity;
+  qopts.sp_read_batch = config_.sp_read_batch;
   qopts.adaptive = config_.adaptive;
   qopts.cost_model_history = config_.cost_model_history;
   qopts.cost_model_min_samples = config_.cost_model_min_samples;
@@ -49,6 +50,7 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
     Stage::Options sopts;
     sopts.initial_workers = config_.stage_workers;
     sopts.fifo_capacity = config_.fifo_capacity;
+    sopts.sp_read_batch = config_.sp_read_batch;
     // The CJOIN stage shares the engine's adaptive thresholds, cost
     // model tuning and memory governor: its sharing sessions count
     // against the same SP budget and spill through the same store as

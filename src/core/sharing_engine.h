@@ -50,6 +50,10 @@ struct EngineConfig {
 
   std::size_t fifo_capacity = 8;
 
+  /// Pages per batched sharing-transport call (see
+  /// QPipeOptions::sp_read_batch); 0 or 1 = page-at-a-time.
+  std::size_t sp_read_batch = 8;
+
   /// Thresholds for the adaptive SP admission policy (kSpAdaptive mode,
   /// or any stage later switched to SpMode::kAdaptive). Fallback only
   /// once a signature has cost-model history — see the knobs below.

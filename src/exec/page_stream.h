@@ -8,6 +8,8 @@
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -20,6 +22,21 @@ class PageSource {
 
   /// Blocks for the next page. Returns nullptr at end-of-stream.
   virtual PageRef Next() = 0;
+
+  /// Batched pull: appends up to `max_pages` pages to `out` and returns
+  /// how many were delivered; 0 means end-of-stream. Blocks like Next()
+  /// until at least one page is available, but never waits for more than
+  /// one — whatever is immediately available rides along. Sources with a
+  /// lock on their hot path override this to amortize one acquisition
+  /// over the whole run; the default delegates to Next().
+  virtual std::size_t NextBatch(std::size_t max_pages,
+                                std::vector<PageRef>* out) {
+    if (max_pages == 0) return 0;
+    PageRef page = Next();
+    if (page == nullptr) return 0;
+    out->push_back(std::move(page));
+    return 1;
+  }
 
   /// Terminal status of the stream; meaningful after Next() returned
   /// nullptr (an aborted producer surfaces kAborted here).
@@ -44,6 +61,18 @@ class PageSink {
   /// Emits a page. Returns false when no consumer can ever read it again
   /// (all consumers cancelled) — the producer should stop early.
   virtual bool Put(PageRef page) = 0;
+
+  /// Batched emit: delivers every page (in order) and returns false when
+  /// the consumers are gone — possibly after a prefix was delivered, just
+  /// as a sequence of Put calls could. Sinks with a lock or a fan-out
+  /// pass on their hot path override this to pay it once per batch; the
+  /// default delegates to Put().
+  virtual bool PutBatch(std::vector<PageRef> pages) {
+    for (PageRef& page : pages) {
+      if (!Put(std::move(page))) return false;
+    }
+    return true;
+  }
 
   /// Ends the stream. `final` is OK for normal completion or the error
   /// the consumer should observe.

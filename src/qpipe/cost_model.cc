@@ -99,7 +99,10 @@ SharingCostModel::SharingCostModel(CostModelOptions options,
       decisions_unshared_(
           metrics->GetCounter(metrics::kPolicyDecisionsUnshared)),
       flips_(metrics->GetCounter(metrics::kPolicyFlips)),
-      confidence_gauge_(metrics->GetGauge(metrics::kPolicyConfidence)) {
+      confidence_gauge_(metrics->GetGauge(metrics::kPolicyConfidence)),
+      measured_copy_ns_(metrics->GetGauge(metrics::kPolicyMeasuredCopyNs)),
+      measured_attach_ns_(
+          metrics->GetGauge(metrics::kPolicyMeasuredAttachNs)) {
   // Enforced here, not at the plumbing sites: a zero gate would let
   // Decide() speak confidently from an empty ring.
   options_.min_samples = std::max<std::size_t>(1, options_.min_samples);
@@ -139,6 +142,28 @@ void SharingCostModel::RecordSession(
     uint64_t signature, const SignatureStats::SessionSample& sample) {
   std::lock_guard<std::mutex> lock(mutex_);
   TouchLocked(signature).stats.RecordSession(sample);
+}
+
+void SharingCostModel::RecordCopyCost(double copy_ns_per_page) {
+  if (!(copy_ns_per_page > 0)) return;  // also rejects NaN
+  std::lock_guard<std::mutex> lock(mutex_);
+  copy_cost_ewma_ns_ =
+      copy_cost_ewma_ns_ == 0
+          ? copy_ns_per_page
+          : (1.0 - kCostEwmaAlpha) * copy_cost_ewma_ns_ +
+                kCostEwmaAlpha * copy_ns_per_page;
+  measured_copy_ns_->Set(static_cast<int64_t>(copy_cost_ewma_ns_));
+}
+
+void SharingCostModel::RecordAttachCost(double attach_ns) {
+  if (!(attach_ns > 0)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  attach_cost_ewma_ns_ =
+      attach_cost_ewma_ns_ == 0
+          ? attach_ns
+          : (1.0 - kCostEwmaAlpha) * attach_cost_ewma_ns_ +
+                kCostEwmaAlpha * attach_ns;
+  measured_attach_ns_->Set(static_cast<int64_t>(attach_cost_ewma_ns_));
 }
 
 void SharingCostModel::PublishConfidenceLocked(double confidence) {
@@ -186,11 +211,15 @@ CostDecision SharingCostModel::Decide(uint64_t signature,
   // Push: one execution plus a deep copy of every page into every
   // satellite FIFO, all serialized through the producer; a consumer that
   // historically lags to the FIFO capacity convoys the host for the whole
-  // production.
+  // production. The per-page copy cost is the measured EWMA once the
+  // channels have reported samples, the model prior until then.
+  const double copy_micros = copy_cost_ewma_ns_ > 0
+                                 ? copy_cost_ewma_ns_ / 1000.0
+                                 : kPushCopyMicrosPerPage;
   const bool convoys = env.fifo_capacity > 0 &&
                        lag >= static_cast<double>(env.fifo_capacity);
   est.push_micros = work + kHostSetupMicros +
-                    satellites * pages * kPushCopyMicrosPerPage +
+                    satellites * pages * copy_micros +
                     (convoys ? pages * kConvoyStallMicrosPerPage : 0.0);
 
   // Pull: one execution plus per-satellite attach and per-page retention
@@ -213,7 +242,15 @@ CostDecision SharingCostModel::Decide(uint64_t signature,
     }
   }
   est.spill_pages = spill_pages;
-  est.pull_micros = work + kHostSetupMicros + satellites * kPullAttachMicros +
+  // Per satellite: the measured (or prior) mechanical attach plus the
+  // fixed service share — serving one more pull reader costs the host
+  // wakeups and bookkeeping for the whole session, not just the
+  // AttachReader call the EWMA can time.
+  const double attach_micros = (attach_cost_ewma_ns_ > 0
+                                    ? attach_cost_ewma_ns_ / 1000.0
+                                    : kPullAttachMicros) +
+                               kPullSatelliteServiceMicros;
+  est.pull_micros = work + kHostSetupMicros + satellites * attach_micros +
                     est.retention_pages * kPullRetainMicrosPerPage +
                     spill_micros;
 

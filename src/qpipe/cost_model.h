@@ -218,6 +218,16 @@ class SharingCostModel {
   void RecordSession(uint64_t signature,
                      const SignatureStats::SessionSample& sample);
 
+  /// Online transport-cost measurements (thread-safe): wall nanoseconds
+  /// for one push deep copy of a page / one pull AttachReader, EWMA'd
+  /// (alpha kCostEwmaAlpha) across every channel that reports. Once a
+  /// sample exists it replaces the corresponding fixed model constant in
+  /// Decide's estimate — the ROADMAP "measure, don't assume" follow-up.
+  /// Published as the policy.measured_copy_ns / policy.measured_attach_ns
+  /// gauges.
+  void RecordCopyCost(double copy_ns_per_page);
+  void RecordAttachCost(double attach_ns);
+
   /// The admission decision for a fresh packet of `signature`.
   /// Thread-safe; updates the signature's sticky decision state and the
   /// policy.* metrics when the model decides.
@@ -252,12 +262,25 @@ class SharingCostModel {
 
   // Cost-model parameters (micros): relative expense of the transports.
   // They rank modes; they do not predict wall clock (see file comment).
+  // The copy and mechanical-attach constants are *priors*: once
+  // RecordCopyCost / RecordAttachCost deliver real measurements, the
+  // EWMA replaces them. The satellite-service share stays a parameter —
+  // it prices the host-side costs of serving one more pull reader over
+  // the session's life (window bookkeeping, parked-reader wakeups,
+  // reclamation probes), which no point measurement at attach time can
+  // observe.
   static constexpr double kHostSetupMicros = 40.0;
   static constexpr double kPushCopyMicrosPerPage = 6.0;
   static constexpr double kConvoyStallMicrosPerPage = 20.0;
-  static constexpr double kPullAttachMicros = 40.0;
+  static constexpr double kPullAttachMicros = 2.0;
+  static constexpr double kPullSatelliteServiceMicros = 38.0;
   static constexpr double kPullRetainMicrosPerPage = 1.0;
   static constexpr double kSpillRoundTripMicrosPerPage = 50.0;
+  /// EWMA smoothing for the measured copy/attach costs: new samples move
+  /// the estimate fast enough to track a regime change (row width, NUMA
+  /// placement) within a few dozen samples while one outlier copy cannot
+  /// swing a decision.
+  static constexpr double kCostEwmaAlpha = 0.2;
 
  private:
   struct Entry {
@@ -284,10 +307,16 @@ class SharingCostModel {
   Counter* decisions_unshared_;
   Counter* flips_;
   Gauge* confidence_gauge_;
+  Gauge* measured_copy_ns_;
+  Gauge* measured_attach_ns_;
 
   mutable std::mutex mutex_;
   std::unordered_map<uint64_t, Entry> entries_;
   std::list<uint64_t> lru_;  // front = most recently touched
+  /// Measured transport costs (nanoseconds, EWMA). 0 until the first
+  /// sample; guarded by mutex_ like the rest of the model state.
+  double copy_cost_ewma_ns_ = 0;
+  double attach_cost_ewma_ns_ = 0;
 };
 
 }  // namespace sharing

@@ -47,6 +47,7 @@ QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
   base.initial_workers = options_.stage_workers;
   base.max_workers = options_.stage_max_workers;
   base.fifo_capacity = options_.fifo_capacity;
+  base.sp_read_batch = options_.sp_read_batch;
   base.adaptive = options_.adaptive;
   base.cost_model.history = options_.cost_model_history;
   base.cost_model.min_samples = options_.cost_model_min_samples;

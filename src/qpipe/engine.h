@@ -41,6 +41,14 @@ struct QPipeOptions {
   /// FIFO capacity in pages.
   std::size_t fifo_capacity = FifoBuffer::kDefaultCapacity;
 
+  /// Pages a packet moves per sharing-transport call (batched
+  /// SplReader::NextBatch / FifoBuffer::PushBatch/PopBatch, wired via
+  /// per-packet batch adapters): one lock acquisition — or one SPL
+  /// publication and parked-reader wake sweep — is amortized over up to
+  /// this many pages. 0 or 1 = page-at-a-time. Consumer-lag and
+  /// reclamation granularity coarsen to the batch size.
+  std::size_t sp_read_batch = 8;
+
   /// Thresholds for SpMode::kAdaptive (per-packet off/push/pull choice),
   /// applied to every stage running in adaptive mode. With enough
   /// per-signature history these thresholds are superseded by the cost

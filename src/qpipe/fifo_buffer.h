@@ -41,6 +41,30 @@ class FifoBuffer final : public PageSource, public PageSink {
     return true;
   }
 
+  bool PutBatch(std::vector<PageRef> pages) override {
+    return PushBatch(pages);
+  }
+
+  /// Batched Put: one lock acquisition covers as many pages as capacity
+  /// allows per wakeup (still blocking for space like Put — pipeline
+  /// backpressure is preserved page-for-page). Returns false when the
+  /// reader is gone; a prefix may have been delivered, as with Puts.
+  bool PushBatch(std::vector<PageRef>& pages) {
+    std::size_t next = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (next < pages.size()) {
+      not_full_.wait(lock, [&] {
+        return queue_.size() < capacity_ || reader_cancelled_ || closed_;
+      });
+      if (reader_cancelled_ || closed_) return false;
+      while (next < pages.size() && queue_.size() < capacity_) {
+        queue_.push_back(std::move(pages[next++]));
+      }
+      not_empty_.notify_one();
+    }
+    return true;
+  }
+
   void Close(Status final) override {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -64,6 +88,31 @@ class FifoBuffer final : public PageSource, public PageSink {
     lock.unlock();
     not_full_.notify_one();
     return page;
+  }
+
+  std::size_t NextBatch(std::size_t max_pages,
+                        std::vector<PageRef>* out) override {
+    return PopBatch(max_pages, out);
+  }
+
+  /// Batched Next: drains up to `max_pages` buffered pages under one lock
+  /// acquisition (blocking for the first page like Next); 0 = closed and
+  /// drained.
+  std::size_t PopBatch(std::size_t max_pages, std::vector<PageRef>* out) {
+    if (max_pages == 0) return 0;
+    std::size_t got = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      while (got < max_pages && !queue_.empty()) {
+        out->push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        ++got;
+      }
+      delivered_ += got;
+    }
+    if (got > 0) not_full_.notify_one();
+    return got;
   }
 
   std::size_t PagesDelivered() const override {

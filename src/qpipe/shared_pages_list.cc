@@ -1,6 +1,8 @@
 #include "qpipe/shared_pages_list.h"
 
 #include <algorithm>
+#include <limits>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -9,28 +11,51 @@ namespace sharing {
 SharedPagesList::~SharedPagesList() {
   // Whatever survived reclamation is released now; keep the gauge (and
   // the governor's engine-wide account) honest. Spilled slots free their
-  // disk chains as the refs die.
+  // disk chains as the refs die. Segments are dropped front-to-back so a
+  // long chain never unwinds recursively through Segment::next.
   pages_retained_->Sub(static_cast<int64_t>(in_memory_));
   if (governor_ != nullptr) governor_->OnPagesReleased(in_memory_);
+  while (!segments_.empty()) segments_.pop_front();
+}
+
+std::size_t SharedPagesList::AppendOneLocked(PageRef page) {
+  const std::size_t pos = published_.load(std::memory_order_relaxed);
+  Segment* tail = segments_.back().get();
+  if (pos >= tail->first + kSegmentSlots) {
+    auto seg = std::make_shared<Segment>(pos);
+    // Link before publish: a reader that observes published_ > pos can
+    // always walk next into the segment holding pos.
+    tail->next.store(seg, std::memory_order_release);
+    segments_.push_back(std::move(seg));
+    tail = segments_.back().get();
+  }
+  // The slot itself is invisible until published_ covers it, so the page
+  // store needs no ordering of its own.
+  tail->slots[pos - tail->first].page.store(std::move(page),
+                                            std::memory_order_relaxed);
+  ++in_memory_;
+  // seq_cst, not just release: the parked-flag sweep that follows must be
+  // ordered after this store or a reader parking concurrently could miss
+  // both the page and the wakeup (see WakeParkedReaders).
+  published_.store(pos + 1, std::memory_order_seq_cst);
+  pages_shared_->Increment();
+  pages_retained_->Add(1);
+  return pos + 1;
 }
 
 std::size_t SharedPagesList::Append(PageRef page) {
   std::size_t total;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return 0;
-    if (readers_.empty() && (ever_attached_ > 0 || sealed_)) {
+    if (closed_.load(std::memory_order_relaxed)) return 0;
+    if (NoObserversLocked()) {
       // Everyone who was (or could ever be) interested has walked away.
       return 0;
     }
-    slots_.push_back(Slot{std::move(page), nullptr, false});
-    ++in_memory_;
-    total = base_ + slots_.size();
-    pages_shared_->Increment();
-    pages_retained_->Add(1);
-    if (governor_ != nullptr) governor_->OnPagesRetained(1);
+    total = AppendOneLocked(std::move(page));
   }
-  cv_.notify_all();
+  if (governor_ != nullptr) governor_->OnPagesRetained(1);
+  WakeFrontierParked(1);  // seed the chained wakeup (O(1) for the producer)
   // Budget enforcement happens with no list lock held: the governor may
   // shed this list's pages, another channel's drained history, or (last
   // resort) our unread tail — see SpBudgetGovernor::Rebalance.
@@ -38,83 +63,206 @@ std::size_t SharedPagesList::Append(PageRef page) {
   return total;
 }
 
+std::size_t SharedPagesList::AppendBatch(std::vector<PageRef> pages) {
+  if (pages.empty()) {
+    return closed_.load(std::memory_order_acquire) ? 0 : TotalAppended();
+  }
+  std::size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_.load(std::memory_order_relaxed)) return 0;
+    if (NoObserversLocked()) return 0;
+    for (PageRef& page : pages) total = AppendOneLocked(std::move(page));
+  }
+  if (governor_ != nullptr) governor_->OnPagesRetained(pages.size());
+  WakeFrontierParked(1);  // seed the chained wakeup (O(1) for the producer)
+  if (governor_ != nullptr) governor_->Rebalance(this);
+  return total;
+}
+
+void SharedPagesList::WakeParkedReaders() {
+  // The predicate change (published_/closed_, both seq_cst stores) is
+  // already visible. If a parking reader's flag store is not yet in the
+  // seq_cst order when we load the count, that reader's own predicate
+  // re-check — which follows its flag store — necessarily observes the
+  // change and skips the wait; if it is, we find the flag below and lock
+  // its mutex before notifying, which serializes with its wait.
+  if (parked_count_.load(std::memory_order_seq_cst) == 0) return;
+  std::vector<std::shared_ptr<ReaderState>> to_wake;
+  for (const ReaderShard& shard : shards_) {
+    SpinLatchGuard guard(shard.latch);
+    for (const auto& reader : shard.readers) {
+      if (reader->parked.load(std::memory_order_relaxed)) {
+        to_wake.push_back(reader);
+      }
+    }
+  }
+  for (const auto& reader : to_wake) {
+    { std::lock_guard<std::mutex> sync(reader->wait_mutex); }
+    reader->wait_cv.notify_all();
+  }
+}
+
+void SharedPagesList::WakeFrontierParked(std::size_t max_readers) {
+  // Chained wakeup: the producer seeds ONE notification per append
+  // (bounded cost however many readers are parked) and every woken
+  // reader continues the chain with binary fan-out before it consumes
+  // (ParkUntilReady), so k parked readers wake in O(log k) chained steps
+  // none of which the producer pays for.
+  //
+  // Only readers still BEHIND the frontier are candidates: a reader that
+  // parked after this append (cursor == new published) has nothing to
+  // read, and handing it the only notification would strand the stale-
+  // cursor readers the wake was for — the lost-wakeup this filter
+  // exists to prevent. Readers parked for the close predicate instead
+  // are woken by WakeParkedReaders (the close path wakes everyone).
+  if (parked_count_.load(std::memory_order_seq_cst) == 0) return;
+  const std::size_t published = published_.load(std::memory_order_seq_cst);
+  std::vector<std::shared_ptr<ReaderState>> to_wake;
+  for (const ReaderShard& shard : shards_) {
+    if (to_wake.size() >= max_readers) break;
+    SpinLatchGuard guard(shard.latch);
+    for (const auto& reader : shard.readers) {
+      if (reader->parked.load(std::memory_order_relaxed) &&
+          reader->cursor.load(std::memory_order_acquire) < published) {
+        to_wake.push_back(reader);
+        if (to_wake.size() >= max_readers) break;
+      }
+    }
+  }
+  for (const auto& reader : to_wake) {
+    { std::lock_guard<std::mutex> sync(reader->wait_mutex); }
+    reader->wait_cv.notify_all();
+  }
+}
+
 void SharedPagesList::Close(Status final) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return;
-    closed_ = true;
+    if (closed_.load(std::memory_order_relaxed)) return;
     final_ = std::move(final);
+    // seq_cst for the same parked-sweep ordering as published_.
+    closed_.store(true, std::memory_order_seq_cst);
     MaybeReclaimLocked();
   }
-  cv_.notify_all();
+  WakeParkedReaders();
 }
 
 void SharedPagesList::SealAttachWindow() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (sealed_) return;
-    sealed_ = true;
-    MaybeReclaimLocked();
-  }
-  cv_.notify_all();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sealed_.load(std::memory_order_relaxed)) return;
+  sealed_.store(true, std::memory_order_seq_cst);
+  MaybeReclaimLocked();
+  // No wake: sealing changes no reader predicate (readers wait for pages
+  // or close). The producer's Close, which follows the seal in every
+  // channel, performs the terminal wakeup.
 }
 
 std::shared_ptr<SplReader> SharedPagesList::AttachReader() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (sealed_) return nullptr;
-  if (closed_ && !final_.ok()) return nullptr;
-  auto reader = std::shared_ptr<SplReader>(new SplReader(shared_from_this()));
-  readers_.push_back(reader.get());
+  if (sealed_.load(std::memory_order_relaxed)) return nullptr;
+  if (closed_.load(std::memory_order_relaxed) && !final_.ok()) return nullptr;
+  auto state = std::make_shared<ReaderState>();
+  auto reader =
+      std::shared_ptr<SplReader>(new SplReader(shared_from_this(), state));
+  // Pre-seal, nothing has been reclaimed: the front segment still starts
+  // at position 0, the new reader's cursor.
+  reader->seg_ = segments_.front();
+  reader->shard_index_ = ever_attached_ % kReaderShards;
+  {
+    SpinLatchGuard guard(shards_[reader->shard_index_].latch);
+    shards_[reader->shard_index_].readers.push_back(std::move(state));
+  }
   ++ever_attached_;
+  active_readers_.fetch_add(1, std::memory_order_acq_rel);
   return reader;
 }
 
+std::size_t SharedPagesList::MinReaderPositionShards() const {
+  std::size_t min_pos = std::numeric_limits<std::size_t>::max();
+  bool any = false;
+  for (const ReaderShard& shard : shards_) {
+    SpinLatchGuard guard(shard.latch);
+    for (const auto& reader : shard.readers) {
+      if (reader->cancelled.load(std::memory_order_acquire)) continue;
+      any = true;
+      // seq_cst, matching the cursor store in AdvanceTo: the frontier
+      // handoff is a store-buffering pattern (reader stores cursor then
+      // loads base_pub_; reclaimer stores base_pub_ then loads cursors)
+      // and weaker orders would let BOTH sides read the stale value —
+      // the reader skipping its probe while the reclaimer misses the
+      // advanced cursor, stalling reclamation.
+      min_pos =
+          std::min(min_pos, reader->cursor.load(std::memory_order_seq_cst));
+    }
+  }
+  return any ? min_pos : published_.load(std::memory_order_acquire);
+}
+
+std::size_t SharedPagesList::MaxReaderPositionShards() const {
+  std::size_t max_pos = 0;
+  for (const ReaderShard& shard : shards_) {
+    SpinLatchGuard guard(shard.latch);
+    for (const auto& reader : shard.readers) {
+      if (reader->cancelled.load(std::memory_order_acquire)) continue;
+      max_pos =
+          std::max(max_pos, reader->cursor.load(std::memory_order_acquire));
+    }
+  }
+  return max_pos;
+}
+
 std::size_t SharedPagesList::MinReaderPosition() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return MinReaderPositionLocked();
+  return MinReaderPositionShards();
 }
 
 SharedPagesList::Snapshot SharedPagesList::GetSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
   snap.ever_attached = ever_attached_;
-  snap.active_readers = readers_.size();
-  snap.total_appended = base_ + slots_.size();
-  snap.min_reader_position = MinReaderPositionLocked();
-  snap.closed = closed_;
+  snap.active_readers = active_readers_.load(std::memory_order_relaxed);
+  snap.total_appended = published_.load(std::memory_order_relaxed);
+  snap.min_reader_position = MinReaderPositionShards();
+  snap.closed = closed_.load(std::memory_order_relaxed);
   return snap;
 }
 
-std::size_t SharedPagesList::MinReaderPositionLocked() const {
-  std::size_t min_pos = base_ + slots_.size();
-  for (const SplReader* reader : readers_) {
-    min_pos = std::min(min_pos, reader->cursor_);
-  }
-  return min_pos;
-}
-
-std::size_t SharedPagesList::MaxReaderPositionLocked() const {
-  std::size_t max_pos = 0;
-  for (const SplReader* reader : readers_) {
-    max_pos = std::max(max_pos, reader->cursor_);
-  }
-  return max_pos;
-}
-
 void SharedPagesList::MaybeReclaimLocked() {
-  if (!sealed_) return;  // a late attacher could still need the history
-  const std::size_t min_pos = MinReaderPositionLocked();
-  int64_t freed = 0;
-  int64_t freed_resident = 0;
-  while (base_ < min_pos && !slots_.empty()) {
-    if (slots_.front().page != nullptr) ++freed_resident;
-    // A spilled slot's chain is deleted unread: dropping the last
-    // SpilledPageRef returns its disk pages to the free list.
-    slots_.pop_front();
-    ++base_;
-    ++freed;
+  if (!sealed_.load(std::memory_order_relaxed)) {
+    return;  // a late attacher could still need the history
   }
-  if (freed > 0) {
+  // Loop until the min cursor stops advancing. A reader that crossed the
+  // old frontier while this pass ran may have read the stale base_pub_
+  // and skipped its own reclamation probe; the seq_cst store/load pairing
+  // with AdvanceTo guarantees that in exactly that case the re-scan below
+  // observes the reader's advanced cursor, so the page cannot be
+  // stranded between a probe that skipped and a scan that missed.
+  for (;;) {
+    const std::size_t min_pos = MinReaderPositionShards();
+    if (base_ >= min_pos) return;
+    int64_t freed = 0;
+    int64_t freed_resident = 0;
+    while (base_ < min_pos) {
+      Slot& slot = SlotAtLocked(base_);
+      // Readers never touch slots behind the min cursor (a reader only
+      // publishes its advance after taking its page reference), so the
+      // exchange cannot race a fast-path load of the same slot.
+      if (slot.page.exchange(nullptr, std::memory_order_relaxed) != nullptr) {
+        ++freed_resident;
+      }
+      // A spilled slot's chain is deleted unread: dropping the last
+      // SpilledPageRef returns its disk pages to the free list.
+      slot.spilled.reset();
+      ++base_;
+      ++freed;
+      // Keep at least the tail segment: the producer appends into
+      // segments_.back(), so the segment run must never go empty.
+      while (segments_.size() > 1 &&
+             base_ >= segments_.front()->first + kSegmentSlots) {
+        segments_.pop_front();
+      }
+    }
+    base_pub_.store(base_, std::memory_order_seq_cst);
     pages_reclaimed_->Add(freed);
     pages_retained_->Sub(freed_resident);
     in_memory_ -= static_cast<std::size_t>(freed_resident);
@@ -137,36 +285,36 @@ std::size_t SharedPagesList::ShedForBudget(std::size_t max_pages,
   std::vector<Victim> victims;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (slots_.empty()) return 0;
+    const std::size_t end = published_.load(std::memory_order_relaxed);
+    if (end == base_) return 0;
     // Within the allowed tiers, best fault-in odds first: drained
     // history (re-read only by a late attacher, deleted unread at seal
     // otherwise), then consumed-but-not-drained newest first (a laggard
     // reaches those last — Belady-ish), then the unread tail newest
-    // first.
-    const std::size_t end = slots_.size();
+    // first. Reader positions come from the shard scan — no per-reader
+    // locking under the list mutex.
     std::size_t consumed_end;
     std::size_t drained_end;
-    if (readers_.empty()) {
+    if (active_readers_.load(std::memory_order_relaxed) == 0) {
       // Every reader cancelled (or none attached yet): the retained
       // window can only ever serve a late attacher, which is exactly the
       // drained tier — not a last-resort unread tail.
       drained_end = consumed_end = end;
     } else {
-      const std::size_t max_pos = MaxReaderPositionLocked();
-      consumed_end = max_pos > base_ ? std::min(max_pos - base_, end) : 0;
-      const std::size_t min_pos = MinReaderPositionLocked();
-      drained_end =
-          min_pos > base_ ? std::min(min_pos - base_, consumed_end) : 0;
+      consumed_end = std::clamp(MaxReaderPositionShards(), base_, end);
+      drained_end = std::clamp(MinReaderPositionShards(), base_, consumed_end);
     }
     auto collect = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = hi; i-- > lo && victims.size() < max_pages;) {
-        Slot& slot = slots_[i];
-        if (slot.page == nullptr || slot.spilling) continue;
+      for (std::size_t pos = hi; pos-- > lo && victims.size() < max_pages;) {
+        Slot& slot = SlotAtLocked(pos);
+        if (slot.spilling) continue;
+        PageRef page = slot.page.load(std::memory_order_relaxed);
+        if (page == nullptr) continue;
         slot.spilling = true;
-        victims.push_back(Victim{base_ + i, slot.page});
+        victims.push_back(Victim{pos, std::move(page)});
       }
     };
-    collect(0, drained_end);
+    collect(base_, drained_end);
     if (tier != SpillTier::kDrained) collect(drained_end, consumed_end);
     if (tier == SpillTier::kUnread) collect(consumed_end, end);
   }
@@ -190,7 +338,7 @@ std::size_t SharedPagesList::ShedForBudget(std::size_t max_pages,
       // In-flight window full (or scheduler shut down): unmark so a
       // later pass can re-select the victim; it stays resident.
       std::lock_guard<std::mutex> lock(mutex_);
-      if (pos >= base_) slots_[pos - base_].spilling = false;
+      if (pos >= base_) SlotAtLocked(pos).spilling = false;
       continue;
     }
     ++initiated;
@@ -205,12 +353,17 @@ void SharedPagesList::InstallSpilled(std::size_t pos, SpilledPageRef spilled) {
     // Reclaimed mid-spill: the fresh chain dies with its unowned ref
     // (freed unread), nothing to install.
     if (pos < base_) return;
-    Slot& slot = slots_[pos - base_];
+    Slot& slot = SlotAtLocked(pos);
     slot.spilling = false;
     if (spilled == nullptr) return;  // spill store unavailable / skipped
-    if (slot.page == nullptr) return;  // already migrated (defensive)
-    slot.page = nullptr;
+    if (slot.page.load(std::memory_order_relaxed) == nullptr) {
+      return;  // already migrated (defensive)
+    }
+    // Install the disk tier BEFORE dropping the memory tier: a lock-free
+    // reader that loses the page load takes the list lock and must find
+    // the spilled chain there.
     slot.spilled = std::move(spilled);
+    slot.page.store(nullptr, std::memory_order_release);
     --in_memory_;
     pages_retained_->Sub(1);
     released = true;
@@ -218,25 +371,149 @@ void SharedPagesList::InstallSpilled(std::size_t pos, SpilledPageRef spilled) {
   if (released) governor_->OnPagesReleased(1);
 }
 
-PageRef SplReader::Next() {
-  std::unique_lock<std::mutex> lock(list_->mutex_);
-  list_->cv_.wait(lock, [&] {
-    return cancelled_ || cursor_ < list_->base_ + list_->slots_.size() ||
-           list_->closed_;
-  });
-  if (cancelled_ || cursor_ >= list_->base_ + list_->slots_.size()) {
-    return nullptr;
-  }
-  SHARING_CHECK(cursor_ >= list_->base_)
-      << "reader cursor points at a reclaimed page";
+// ---------------------------------------------------------------------------
+// SplReader
+// ---------------------------------------------------------------------------
+
+void SplReader::AdvanceTo(std::size_t next) {
   const std::size_t pos = cursor_;
-  const SharedPagesList::Slot& slot = list_->slots_[pos - list_->base_];
-  PageRef page = slot.page;
-  SpilledPageRef spilled = slot.spilled;
-  ++cursor_;
+  cursor_ = next;
+  // The slot references were taken before this store, so reclamation
+  // can never free a slot this reader is still copying from. seq_cst
+  // (store) ordered BEFORE the seq_cst base_pub_ load below: the
+  // frontier handoff against a concurrent reclaimer is store-buffering
+  // shaped, and SC is what guarantees that either this probe fires or
+  // the reclaimer's re-scan sees the new cursor (never neither).
+  state_->cursor.store(next, std::memory_order_seq_cst);
   // Only the reader leaving the reclamation frontier can raise the min
-  // cursor; everyone else would scan the reader list for a no-op.
-  if (pos == list_->base_) list_->MaybeReclaimLocked();
+  // cursor; everyone else would take the list lock for a no-op scan.
+  if (pos == list_->base_pub_.load(std::memory_order_seq_cst) &&
+      list_->sealed_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(list_->mutex_);
+    list_->MaybeReclaimLocked();
+  }
+}
+
+PageRef SplReader::Next() {
+  if (state_->cancelled.load(std::memory_order_relaxed)) return nullptr;
+  for (;;) {
+    const std::size_t pos = cursor_;
+    std::size_t published = list_->published_.load(std::memory_order_acquire);
+    if (pos < published) {
+      SharedPagesList::Slot& slot = SlotFor(pos);
+      if (PageRef page = slot.page.load(std::memory_order_acquire)) {
+        // The lock-free fast path: published resident page, no mutex.
+        AdvanceTo(pos + 1);
+        return page;
+      }
+      return SlowResolve(pos);
+    }
+    if (list_->closed_.load(std::memory_order_acquire)) {
+      // Re-check publication AFTER observing the close: the producer's
+      // final appends are ordered before its closed_ store, so this
+      // second load cannot miss them.
+      published = list_->published_.load(std::memory_order_acquire);
+      if (pos >= published) return nullptr;
+      continue;
+    }
+    if (!ParkUntilReady()) return nullptr;
+  }
+}
+
+std::size_t SplReader::NextBatch(std::size_t max_pages,
+                                 std::vector<PageRef>* out) {
+  if (max_pages == 0 || state_->cancelled.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  for (;;) {
+    const std::size_t pos = cursor_;
+    std::size_t published = list_->published_.load(std::memory_order_acquire);
+    if (pos < published) {
+      const std::size_t want = std::min(published, pos + max_pages);
+      std::size_t next = pos;
+      while (next < want) {
+        SharedPagesList::Slot& slot = SlotFor(next);
+        PageRef page = slot.page.load(std::memory_order_acquire);
+        if (page == nullptr) break;  // spilled: resolve on the next call
+        out->push_back(std::move(page));
+        ++next;
+      }
+      if (next > pos) {
+        // One cursor publication (and at most one reclamation probe) for
+        // the whole run — the lock-amortization batching buys.
+        AdvanceTo(next);
+        return next - pos;
+      }
+      PageRef page = SlowResolve(pos);
+      if (page == nullptr) return 0;  // fault-back error or cancelled
+      out->push_back(std::move(page));
+      return 1;
+    }
+    if (list_->closed_.load(std::memory_order_acquire)) {
+      published = list_->published_.load(std::memory_order_acquire);
+      if (pos >= published) return 0;
+      continue;
+    }
+    if (!ParkUntilReady()) return 0;
+  }
+}
+
+bool SplReader::ParkUntilReady() {
+  // Spin-then-park: a reader chasing an actively appending producer is
+  // typically handed the next page within microseconds — burning a short
+  // bounded spin on the published counter (a plain cacheline read) is
+  // far cheaper than a futex round trip for the reader AND the wake
+  // sweep for the producer. On a single-core host spinning can only
+  // delay the producer, so it is disabled there.
+  static const int kSpinRounds =
+      std::thread::hardware_concurrency() > 1 ? 1024 : 0;
+  for (int round = 0; round < kSpinRounds; ++round) {
+    if (state_->cancelled.load(std::memory_order_relaxed) ||
+        cursor_ < list_->published_.load(std::memory_order_acquire) ||
+        list_->closed_.load(std::memory_order_acquire)) {
+      return !state_->cancelled.load(std::memory_order_relaxed);
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+  list_->reader_parks_->Increment();
+  // Dekker-style handshake with the producer: the flag (and count) store
+  // must be ordered before the predicate re-check, and the producer's
+  // predicate store before its flag sweep — both sides seq_cst. Either
+  // the producer sees us parked (and locks wait_mutex before notifying,
+  // serializing with the wait below), or our re-check sees its update.
+  state_->parked.store(true, std::memory_order_seq_cst);
+  list_->parked_count_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(state_->wait_mutex);
+    while (!(state_->cancelled.load(std::memory_order_seq_cst) ||
+             cursor_ < list_->published_.load(std::memory_order_seq_cst) ||
+             list_->closed_.load(std::memory_order_seq_cst))) {
+      state_->wait_cv.wait(lock);
+    }
+  }
+  state_->parked.store(false, std::memory_order_relaxed);
+  list_->parked_count_.fetch_sub(1, std::memory_order_seq_cst);
+  // Continue the chained wakeup BEFORE consuming anything: the producer
+  // only seeded one notification, and the binary fan-out here is what
+  // propagates it to every other frontier-parked reader.
+  list_->WakeFrontierParked(2);
+  return !state_->cancelled.load(std::memory_order_relaxed);
+}
+
+PageRef SplReader::SlowResolve(std::size_t pos) {
+  list_->lock_waits_->Increment();
+  std::unique_lock<std::mutex> lock(list_->mutex_);
+  if (state_->cancelled.load(std::memory_order_relaxed)) return nullptr;
+  SHARING_CHECK(pos >= list_->base_)
+      << "reader cursor points at a reclaimed page";
+  SharedPagesList::Slot& slot = list_->SlotAtLocked(pos);
+  // The fast path lost the race against a concurrent spill install (or a
+  // fault-back follows a genuine migration); under the lock the slot's
+  // tier assignment is stable.
+  PageRef page = slot.page.load(std::memory_order_relaxed);
+  SpilledPageRef spilled = slot.spilled;
   auto governor = list_->governor_;
   // Peek the successor while still under the lock: if it has already
   // spilled, its fault-back can be scheduled now and overlap this page's
@@ -244,10 +521,16 @@ PageRef SplReader::Next() {
   // memory -> spilled, so the ref stays authoritative once taken).
   SpilledPageRef readahead;
   if (governor != nullptr && governor->scheduler() != nullptr &&
-      cursor_ < list_->base_ + list_->slots_.size()) {
-    readahead = list_->slots_[cursor_ - list_->base_].spilled;
+      pos + 1 < list_->published_.load(std::memory_order_relaxed)) {
+    SharedPagesList::Slot& next_slot = list_->SlotAtLocked(pos + 1);
+    if (next_slot.page.load(std::memory_order_relaxed) == nullptr) {
+      readahead = next_slot.spilled;
+    }
   }
   lock.unlock();
+  // The local SpilledPageRef pins the disk chain even if reclamation
+  // drops the slot after this advance.
+  AdvanceTo(pos + 1);
 
   // This reader's previous readahead (if any) targeted exactly `pos`;
   // take it over before installing the next one.
@@ -268,12 +551,12 @@ PageRef SplReader::Next() {
     if (pf_ticket != nullptr) pf_ticket->TryCancel();  // stale (never expected)
     return page;
   }
+  SHARING_CHECK(spilled != nullptr) << "slot neither resident nor spilled";
 
-  // Fault-back, outside the list lock: the SpilledPageRef pins the disk
-  // chain even if reclamation drops the slot concurrently. The read is
-  // served by the matching readahead when one is in flight; otherwise it
-  // goes through the scheduler's kFaultBack class (or synchronously when
-  // no scheduler is configured).
+  // Fault-back, outside the list lock. The read is served by the
+  // matching readahead when one is in flight; otherwise it goes through
+  // the scheduler's kFaultBack class (or synchronously when no scheduler
+  // is configured).
   StatusOr<PageRef> page_or = Status::Internal("fault-back not attempted");
   bool resolved = false;
   if (pf_ticket != nullptr && pf_pos == pos) {
@@ -301,24 +584,29 @@ PageRef SplReader::Next() {
 Status SplReader::FinalStatus() const {
   std::lock_guard<std::mutex> lock(list_->mutex_);
   if (!error_.ok()) return error_;
-  if (cancelled_) return Status::Aborted("reader cancelled");
+  if (state_->cancelled.load(std::memory_order_relaxed)) {
+    return Status::Aborted("reader cancelled");
+  }
   return list_->final_;
 }
 
-std::size_t SplReader::PagesDelivered() const {
-  std::lock_guard<std::mutex> lock(list_->mutex_);
-  return cursor_;
-}
-
 void SplReader::Cancel() {
+  if (state_->cancelled.exchange(true, std::memory_order_seq_cst)) return;
   {
-    std::lock_guard<std::mutex> lock(list_->mutex_);
-    if (cancelled_) return;
-    cancelled_ = true;
-    std::erase(list_->readers_, this);
-    list_->MaybeReclaimLocked();
+    SharedPagesList::ReaderShard& shard = list_->shards_[shard_index_];
+    SpinLatchGuard guard(shard.latch);
+    std::erase(shard.readers, state_);
   }
-  list_->cv_.notify_all();
+  list_->active_readers_.fetch_sub(1, std::memory_order_acq_rel);
+  // A cancel may arrive from another thread while this reader is parked
+  // in Next(): wake it so it observes the cancellation.
+  {
+    { std::lock_guard<std::mutex> sync(state_->wait_mutex); }
+    state_->wait_cv.notify_all();
+  }
+  // The pages this reader was holding back become reclaimable.
+  std::lock_guard<std::mutex> lock(list_->mutex_);
+  list_->MaybeReclaimLocked();
 }
 
 }  // namespace sharing

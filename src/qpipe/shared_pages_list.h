@@ -9,6 +9,38 @@
 // from the beginning (this is what widens SP's sharing window in pull
 // mode).
 //
+// Concurrency (the low-contention hot path):
+//
+//  * Publication is seqlock-style: the producer fills an immutable slot
+//    and then advances the atomic published count (`published_`, release
+//    on store). A reader gates on `published_` (acquire) and reads the
+//    slot with NO lock — `SplReader::Next`/`NextBatch` on a resident,
+//    already-published page never touches the list mutex. Slots live in
+//    fixed-size segments linked by atomic next pointers; each reader
+//    holds a shared_ptr to its current segment, so reclamation can drop
+//    head segments without synchronizing with readers.
+//  * A slot's resident page is a `std::atomic<PageRef>` because the spill
+//    tier migrates pages to disk concurrently with lock-free readers: the
+//    reader either wins the load (and the resident page stays alive
+//    through its reference) or observes null and takes the slow path.
+//  * The list mutex is only taken on slow paths: attach/detach, spill
+//    fault-back, reclamation, close/seal, and the producer's append
+//    bookkeeping (`sp.lock_waits` counts reader slow paths).
+//  * Blocked readers park on their OWN mutex/condvar (`ReaderState`), not
+//    a shared broadcast (`sp.reader_parks` counts parks; a short spin
+//    precedes the park on multicore hosts). On append the producer seeds
+//    ONE notification to a frontier-parked reader and each woken reader
+//    fans the wake out to two more, so the producer's wake cost is O(1)
+//    however many readers are parked — no `notify_all` herd through one
+//    lock, and no per-reader futex sweep on the append path. Close wakes
+//    everyone directly (it happens once). The flag/published handshake
+//    is seq_cst on both sides (Dekker-style) so a seal/close racing a
+//    parking reader can never lose the wakeup.
+//  * Reader positions are atomic cursors registered in a small number of
+//    cache-line-padded shards: reclamation and `ShedForBudget` compute
+//    the min/max cursor by scanning shard-by-shard under per-shard spin
+//    latches — never by locking every reader on the append or read path.
+//
 // Memory, two tiers:
 //  * Reclamation (as in the original paper): while the attach window is
 //    open a late consumer may still need the full history, so nothing is
@@ -34,6 +66,8 @@
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -43,6 +77,7 @@
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "common/spin_latch.h"
 #include "exec/page_stream.h"
 #include "qpipe/sp_budget_governor.h"
 
@@ -86,12 +121,21 @@ class SharedPagesList
   /// retained pages when the governor reports budget pressure.
   std::size_t Append(PageRef page);
 
-  /// Producer: seals the list with a terminal status.
+  /// Batched append: publishes all pages with one bookkeeping pass, one
+  /// parked-reader wake sweep, and one governor rebalance. Same return
+  /// contract as Append (0 = nobody can ever observe the pages, nothing
+  /// was appended).
+  std::size_t AppendBatch(std::vector<PageRef> pages);
+
+  /// Producer: seals the list with a terminal status and wakes every
+  /// parked reader (they observe end-of-list once past the frontier).
   void Close(Status final);
 
   /// Closes the attach window: AttachReader() fails from now on, which
   /// makes page reclamation safe (no future reader can need the history).
-  /// Idempotent; typically invoked by the owning channel at Close.
+  /// Idempotent; typically invoked by the owning channel at Close. Does
+  /// NOT wake parked readers — sealing changes no read predicate; only
+  /// Close (end-of-list) and Append (new page) do.
   void SealAttachWindow();
 
   /// Attaches a reader starting at the first page. Returns nullptr when
@@ -101,16 +145,16 @@ class SharedPagesList
   /// sharing window) or after it closed OK.
   std::shared_ptr<SplReader> AttachReader();
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return closed_;
-  }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Pages currently retained (appended minus reclaimed), resident or
   /// spilled.
   std::size_t NumPages() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return slots_.size();
+    // published_ is written after base_pub_ can only lag it, so the
+    // difference is a conservative (never negative) retained count.
+    const std::size_t base = base_pub_.load(std::memory_order_acquire);
+    const std::size_t pub = published_.load(std::memory_order_acquire);
+    return pub > base ? pub - base : 0;
   }
 
   /// Retained pages currently memory-resident (excludes spilled).
@@ -121,13 +165,11 @@ class SharedPagesList
 
   /// Pages ever appended, including reclaimed ones.
   std::size_t TotalAppended() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return base_ + slots_.size();
+    return published_.load(std::memory_order_acquire);
   }
 
   std::size_t ActiveReaders() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return readers_.size();
+    return active_readers_.load(std::memory_order_acquire);
   }
 
   std::size_t EverAttached() const {
@@ -136,7 +178,8 @@ class SharedPagesList
   }
 
   /// Smallest position (pages consumed) across active readers; equals
-  /// TotalAppended() when no reader is active.
+  /// TotalAppended() when no reader is active. Computed from the sharded
+  /// atomic cursors — takes no list lock.
   std::size_t MinReaderPosition() const;
 
   /// Governor callback: migrates up to `max_pages` resident pages no
@@ -165,14 +208,54 @@ class SharedPagesList
  private:
   friend class SplReader;
 
-  /// A retained position: exactly one of `page` (memory tier) or
-  /// `spilled` (disk tier) is set. `spilling` marks a victim whose
-  /// serialization is in flight off-lock (still readable; not a
-  /// candidate for a second concurrent shed).
+  /// Slots per segment. Small enough that a short list stays cheap,
+  /// large enough that a reader crosses a segment boundary (one extra
+  /// atomic load) rarely.
+  static constexpr std::size_t kSegmentSlots = 64;
+  /// Reader-registry shards; attach/detach and min-cursor scans touch
+  /// per-shard spin latches, never the list mutex.
+  static constexpr std::size_t kReaderShards = 8;
+
+  /// A retained position. `page` (memory tier) is atomic because the
+  /// lock-free reader fast path races the spill install and reclamation:
+  /// a reader either wins the load (its reference keeps the page alive)
+  /// or observes null and falls to the locked slow path. `spilled` and
+  /// `spilling` are guarded by mutex_.
   struct Slot {
-    PageRef page;
+    std::atomic<PageRef> page{nullptr};
     SpilledPageRef spilled;
     bool spilling = false;
+  };
+
+  /// A fixed run of slots. Immutable once linked: `first` never changes
+  /// and `next` is written exactly once (by the producer, before the
+  /// first position of the next segment is published). Readers keep a
+  /// shared_ptr to their current segment and walk `next`, so dropping a
+  /// fully reclaimed head segment needs no reader coordination.
+  struct Segment {
+    explicit Segment(std::size_t first_pos) : first(first_pos) {}
+    const std::size_t first;
+    std::array<Slot, kSegmentSlots> slots;
+    std::atomic<std::shared_ptr<Segment>> next{nullptr};
+  };
+
+  /// One reader's shared accounting + parking slot. Owned jointly by the
+  /// SplReader and the shard registry so a cancelled reader's state
+  /// survives whichever side lets go last.
+  struct ReaderState {
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> cancelled{false};
+    /// True while the reader is (about to be) blocked in wait_cv. The
+    /// park handshake is seq_cst against published_/closed_ (see
+    /// SplReader::ParkUntilReady and WakeParkedReaders).
+    std::atomic<bool> parked{false};
+    std::mutex wait_mutex;
+    std::condition_variable wait_cv;
+  };
+
+  struct alignas(64) ReaderShard {
+    mutable SpinLatch latch;
+    std::vector<std::shared_ptr<ReaderState>> readers;
   };
 
   SharedPagesList(MetricsRegistry* metrics,
@@ -180,10 +263,48 @@ class SharedPagesList
       : pages_shared_(metrics->GetCounter(metrics::kSpPagesShared)),
         pages_reclaimed_(metrics->GetCounter(metrics::kSpPagesReclaimed)),
         pages_retained_(metrics->GetGauge(metrics::kSpPagesRetained)),
-        governor_(std::move(governor)) {}
+        lock_waits_(metrics->GetCounter(metrics::kSpLockWaits)),
+        reader_parks_(metrics->GetCounter(metrics::kSpReaderParks)),
+        governor_(std::move(governor)) {
+    segments_.push_back(std::make_shared<Segment>(0));
+  }
 
-  std::size_t MinReaderPositionLocked() const;
-  std::size_t MaxReaderPositionLocked() const;
+  /// O(1) slot lookup by absolute position (segments are contiguous and
+  /// aligned). Requires mutex_ held and base_ <= pos < published.
+  Slot& SlotAtLocked(std::size_t pos) {
+    const std::size_t front_first = segments_.front()->first;
+    Segment& seg = *segments_[(pos - front_first) / kSegmentSlots];
+    return seg.slots[pos - seg.first];
+  }
+
+  /// Appends one page to the tail segment and publishes it. Requires
+  /// mutex_ held; returns the new total.
+  std::size_t AppendOneLocked(PageRef page);
+
+  /// True when no present or future reader can observe an append (the
+  /// Append/AppendBatch early-stop contract). Requires mutex_ held.
+  bool NoObserversLocked() const {
+    return active_readers_.load(std::memory_order_relaxed) == 0 &&
+           (ever_attached_ > 0 || sealed_.load(std::memory_order_relaxed));
+  }
+
+  /// Min/max over the sharded atomic reader cursors (per-shard latches
+  /// only; callable with or without mutex_).
+  std::size_t MinReaderPositionShards() const;
+  std::size_t MaxReaderPositionShards() const;
+
+  /// Notifies every parked reader (each on its own condvar) — the close
+  /// path. Called with NO list lock held, after the predicate change
+  /// (published_/closed_) is globally visible; the seq_cst flag
+  /// handshake makes the sweep race-free against readers parking
+  /// concurrently.
+  void WakeParkedReaders();
+
+  /// Notifies up to `max_readers` parked readers whose cursor is behind
+  /// the publication frontier — the append path's chained wakeup: the
+  /// producer seeds one, every woken reader fans out to two more
+  /// (ParkUntilReady), so the producer's wake cost is O(1) in fan-out.
+  void WakeFrontierParked(std::size_t max_readers);
 
   /// Completion handoff for an async spill of the page at absolute
   /// position `pos`: installs the durable chain (releasing the resident
@@ -199,21 +320,43 @@ class SharedPagesList
   Counter* pages_shared_;
   Counter* pages_reclaimed_;
   Gauge* pages_retained_;
+  Counter* lock_waits_;
+  Counter* reader_parks_;
   std::shared_ptr<SpBudgetGovernor> governor_;
 
+  /// Publication frontier: positions below it are readable without any
+  /// lock. Stored seq_cst by the producer (the parking handshake needs
+  /// the store ordered before the parked-flag sweep).
+  std::atomic<std::size_t> published_{0};
+  /// Atomic mirror of base_ — the reclamation frontier. Readers compare
+  /// their position against it to decide whether advancing may unblock
+  /// reclamation (only the reader leaving the frontier can raise the
+  /// min), so the check costs one atomic load, not a lock. The
+  /// cursor-store/base_pub_-load handshake is seq_cst against the
+  /// reclaimer's base_pub_-store/cursor-load, and MaybeReclaimLocked
+  /// re-scans until the min stops moving — together these close the
+  /// store-buffering race where a reader skips its probe just as the
+  /// reclaimer misses its advanced cursor.
+  std::atomic<std::size_t> base_pub_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> sealed_{false};
+  std::atomic<std::size_t> active_readers_{0};
+  /// Parked readers, maintained by the park/unpark handshake. The
+  /// producer skips the wake sweep entirely while it reads zero (the
+  /// common keeping-up case).
+  std::atomic<std::size_t> parked_count_{0};
+
+  std::array<ReaderShard, kReaderShards> shards_;
+
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  /// Retained pages; slots_[i] holds the page appended at position
-  /// base_ + i (positions below base_ have been reclaimed).
-  std::deque<Slot> slots_;
+  /// Strong refs to the retained segment run, front = oldest. Guarded by
+  /// mutex_; readers never touch it (they walk Segment::next).
+  std::deque<std::shared_ptr<Segment>> segments_;
+  /// First non-reclaimed position (mirrored in base_pub_).
   std::size_t base_ = 0;
-  /// Resident slots (slots_ minus spilled); drives governor accounting.
+  /// Resident slots (retained minus spilled); drives governor accounting.
   std::size_t in_memory_ = 0;
-  bool closed_ = false;
-  bool sealed_ = false;
   Status final_;
-  /// Active (non-cancelled) readers; their cursors drive reclamation.
-  std::vector<const SplReader*> readers_;
   std::size_t ever_attached_ = 0;
 };
 
@@ -227,19 +370,29 @@ class SplReader final : public PageSource {
   SHARING_DISALLOW_COPY_AND_MOVE(SplReader);
 
   /// Blocks for the page at this reader's cursor; nullptr at end-of-list.
-  /// A spilled page is faulted back from the governor's store (bit-exact
-  /// reconstruction, charged to sp.unspill_reads) — through the I/O
-  /// scheduler's kFaultBack class when one is configured, which also
-  /// readaheads the *next* slot if it is already spilled, so a
-  /// sequential reader overlaps fault-back latency with consumption.
+  /// Lock-free on a resident, already-published page. A spilled page is
+  /// faulted back from the governor's store (bit-exact reconstruction,
+  /// charged to sp.unspill_reads) — through the I/O scheduler's
+  /// kFaultBack class when one is configured, which also readaheads the
+  /// *next* slot if it is already spilled, so a sequential reader
+  /// overlaps fault-back latency with consumption.
   PageRef Next() override;
+
+  /// Batched pull: up to `max_pages` already-published resident pages
+  /// with ONE cursor publication (and at most one reclamation probe).
+  /// Blocks like Next() when nothing is available; returns 0 only at
+  /// end-of-list (or after a fault-back error / cancel).
+  std::size_t NextBatch(std::size_t max_pages,
+                        std::vector<PageRef>* out) override;
 
   Status FinalStatus() const override;
 
   void CancelConsumer() override { Cancel(); }
 
   /// Pages this reader has consumed (the reader-position contract).
-  std::size_t PagesDelivered() const override;
+  std::size_t PagesDelivered() const override {
+    return state_->cursor.load(std::memory_order_acquire);
+  }
 
   /// Detaches; a producer with no remaining readers stops early, and the
   /// pages this reader was holding back become reclaimable.
@@ -247,13 +400,43 @@ class SplReader final : public PageSource {
 
  private:
   friend class SharedPagesList;
-  explicit SplReader(std::shared_ptr<SharedPagesList> list)
-      : list_(std::move(list)) {}
+  SplReader(std::shared_ptr<SharedPagesList> list,
+            std::shared_ptr<SharedPagesList::ReaderState> state)
+      : list_(std::move(list)), state_(std::move(state)) {}
+
+  /// Lock-free slot lookup: walks the segment chain from the reader's
+  /// current segment (cursor positions are monotonic, so the walk only
+  /// ever goes forward). Requires pos < published_.
+  SharedPagesList::Slot& SlotFor(std::size_t pos) {
+    while (pos >= seg_->first + SharedPagesList::kSegmentSlots) {
+      seg_ = seg_->next.load(std::memory_order_acquire);
+    }
+    return seg_->slots[pos - seg_->first];
+  }
+
+  /// Publishes the cursor move to `next` and probes reclamation iff this
+  /// reader was the one sitting on the reclamation frontier.
+  void AdvanceTo(std::size_t next);
+
+  /// Locked slow path for the non-resident slot at `pos`: spill
+  /// fault-back (+ next-slot readahead), sticky error capture. Advances
+  /// the cursor past `pos` on success.
+  PageRef SlowResolve(std::size_t pos);
+
+  /// Parks on the reader's own condvar until a page is published, the
+  /// list closes, or the reader is cancelled. Returns false iff
+  /// cancelled.
+  bool ParkUntilReady();
 
   std::shared_ptr<SharedPagesList> list_;
+  std::shared_ptr<SharedPagesList::ReaderState> state_;
+  /// The segment containing cursor_ (reader-local; see SlotFor).
+  std::shared_ptr<SharedPagesList::Segment> seg_;
+  /// Reader-local cursor mirror (state_->cursor is the published copy).
   std::size_t cursor_ = 0;
-  bool cancelled_ = false;
-  /// Sticky fault-back failure; surfaced through FinalStatus.
+  std::size_t shard_index_ = 0;
+  /// Sticky fault-back failure; surfaced through FinalStatus. Guarded by
+  /// the list mutex.
   Status error_;
   /// In-flight readahead of the next spilled slot. Touched only by this
   /// reader's own Next()/destructor (readers are single-consumer), so it

@@ -1,6 +1,7 @@
 #include "qpipe/sharing_channel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,12 @@ namespace sharing {
 
 namespace {
 
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Shared production-time lag sampling: every few pages the producer
 /// records how far the slowest reader trails it. Callers guard `max`
 /// with their own mutex. One copy of the policy so every transport
@@ -18,8 +25,11 @@ namespace {
 struct LagSampler {
   static constexpr std::size_t kEvery = 8;
 
-  static bool ShouldSample(std::size_t produced) {
-    return produced % kEvery == 0;
+  /// Did the production count cross a sampling boundary going from
+  /// `prev` to `now`? (Batched puts advance by several pages at once, so
+  /// the check is a window crossing, not `now % kEvery == 0`.)
+  static bool ShouldSample(std::size_t prev, std::size_t now) {
+    return now / kEvery > prev / kEvery;
   }
 
   std::size_t max = 0;
@@ -35,7 +45,9 @@ struct LagSampler {
 // PushChannel: the push-model tee. The first attached reader is the host's
 // own consumer and receives the original page; every later reader is a
 // satellite fed a deep copy. All copies run in the producer thread — this
-// loop is the serialization point the paper's pull model removes.
+// loop is the serialization point the paper's pull model removes. Batched
+// puts amortize one FIFO lock acquisition per satellite over the whole
+// run (FifoBuffer::PushBatch) instead of paying it per page.
 // ---------------------------------------------------------------------------
 
 class PushChannel final : public SharingChannel {
@@ -56,6 +68,9 @@ class PushChannel final : public SharingChannel {
   }
 
   bool Put(PageRef page) override {
+    // Dedicated single-page path: unlike PutBatch it allocates nothing
+    // beyond the satellite deep copies, so page-at-a-time configurations
+    // (sp_read_batch <= 1) keep their pre-batching cost.
     std::vector<std::shared_ptr<FifoBuffer>> readers;
     const FifoBuffer* host;
     std::size_t produced;
@@ -70,45 +85,57 @@ class PushChannel final : public SharingChannel {
     bool any = false;
     std::vector<const FifoBuffer*> dead;
     for (std::size_t i = 0; i < readers.size(); ++i) {
-      PageRef out;
-      if (readers[i].get() == host) {
-        out = page;  // the host's own consumer reads the original
-      } else {
-        // Deep copy per satellite — the defining cost of push-based SP
-        // (charged even after the host cancels: the model forwards).
-        out = std::make_shared<RowPage>(*page);
-        pages_copied_->Increment();
-        bytes_copied_->Add(static_cast<int64_t>(page->data_bytes()));
-      }
+      PageRef out =
+          readers[i].get() == host ? page : CopyForSatellite(*page);
       if (readers[i]->Put(std::move(out))) {
         any = true;
       } else {
         dead.push_back(readers[i].get());
       }
     }
-    if (!dead.empty()) {
+    FinishPut(readers, dead, produced - 1, produced);
+    return any;
+  }
+
+  bool PutBatch(std::vector<PageRef> pages) override {
+    if (pages.empty()) {
       std::lock_guard<std::mutex> lock(mutex_);
-      std::erase_if(readers_, [&](const std::shared_ptr<FifoBuffer>& r) {
-        return std::find(dead.begin(), dead.end(), r.get()) != dead.end();
-      });
-      if (std::find(dead.begin(), dead.end(), host_) != dead.end()) {
-        host_ = nullptr;  // never compare against a freed FIFO
-      }
+      return !closed_;
     }
-    // Production-time lag sample (every few pages): how far the slowest
-    // *surviving* reader trails the producer — a dead reader's frozen
-    // position would inflate the signal the adaptive policy consumes.
-    if (LagSampler::ShouldSample(produced)) {
-      std::size_t min_delivered = produced;
-      for (const auto& reader : readers) {
-        if (std::find(dead.begin(), dead.end(), reader.get()) != dead.end()) {
-          continue;
+    std::vector<std::shared_ptr<FifoBuffer>> readers;
+    const FifoBuffer* host;
+    std::size_t produced;
+    std::size_t prev_produced;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      window_open_ = false;  // first emission closes the attach window
+      prev_produced = pages_produced_;
+      pages_produced_ += pages.size();
+      produced = pages_produced_;
+      readers = readers_;
+      host = host_;
+    }
+    bool any = false;
+    std::vector<const FifoBuffer*> dead;
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      std::vector<PageRef> batch;
+      batch.reserve(pages.size());
+      if (readers[i].get() == host) {
+        // The host's own consumer reads the originals.
+        batch = pages;
+      } else {
+        for (const PageRef& page : pages) {
+          batch.push_back(CopyForSatellite(*page));
         }
-        min_delivered = std::min(min_delivered, reader->PagesDelivered());
       }
-      std::lock_guard<std::mutex> lock(mutex_);
-      lag_.Update(produced, min_delivered);
+      if (readers[i]->PushBatch(batch)) {
+        any = true;
+      } else {
+        dead.push_back(readers[i].get());
+      }
     }
+    FinishPut(readers, dead, prev_produced, produced);
     return any;
   }
 
@@ -144,6 +171,60 @@ class PushChannel final : public SharingChannel {
   SpMode mode() const override { return SpMode::kPush; }
 
  private:
+  /// Copies between wall-timed samples fed to on_copy_cost.
+  static constexpr std::size_t kCopySampleEvery = 32;
+
+  /// One satellite deep copy — the defining cost of push-based SP
+  /// (charged even after the host cancels: the model forwards). One
+  /// copy in every kCopySampleEvery is wall-timed to feed the cost
+  /// model's measured ns-per-page (single producer, so the countdown
+  /// needs no lock).
+  PageRef CopyForSatellite(const RowPage& page) {
+    const bool sample =
+        options_.on_copy_cost != nullptr && copies_until_sample_ == 0;
+    const int64_t start = sample ? NowNanos() : 0;
+    PageRef copy = std::make_shared<RowPage>(page);
+    if (sample) {
+      options_.on_copy_cost(static_cast<double>(NowNanos() - start));
+      copies_until_sample_ = kCopySampleEvery;
+    } else if (copies_until_sample_ > 0) {
+      --copies_until_sample_;
+    }
+    pages_copied_->Increment();
+    bytes_copied_->Add(static_cast<int64_t>(page.data_bytes()));
+    return copy;
+  }
+
+  /// Shared Put/PutBatch epilogue: prune readers that reported a dead
+  /// consumer, and take the production-time lag sample when the batch
+  /// crossed a sampling boundary — from the slowest *surviving* reader
+  /// (a dead reader's frozen position would inflate the signal the
+  /// adaptive policy consumes).
+  void FinishPut(const std::vector<std::shared_ptr<FifoBuffer>>& readers,
+                 const std::vector<const FifoBuffer*>& dead,
+                 std::size_t prev_produced, std::size_t produced) {
+    if (!dead.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::erase_if(readers_, [&](const std::shared_ptr<FifoBuffer>& r) {
+        return std::find(dead.begin(), dead.end(), r.get()) != dead.end();
+      });
+      if (std::find(dead.begin(), dead.end(), host_) != dead.end()) {
+        host_ = nullptr;  // never compare against a freed FIFO
+      }
+    }
+    if (LagSampler::ShouldSample(prev_produced, produced)) {
+      std::size_t min_delivered = produced;
+      for (const auto& reader : readers) {
+        if (std::find(dead.begin(), dead.end(), reader.get()) != dead.end()) {
+          continue;
+        }
+        min_delivered = std::min(min_delivered, reader->PagesDelivered());
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      lag_.Update(produced, min_delivered);
+    }
+  }
+
   SharingChannelOptions options_;
   Counter* pages_copied_;
   Counter* bytes_copied_;
@@ -156,6 +237,8 @@ class PushChannel final : public SharingChannel {
   const FifoBuffer* host_ = nullptr;
   std::size_t ever_attached_ = 0;
   std::size_t pages_produced_ = 0;
+  /// Producer-thread-only countdown to the next timed copy.
+  std::size_t copies_until_sample_ = 0;
   bool window_open_ = true;
   bool closed_ = false;
 };
@@ -164,7 +247,8 @@ class PushChannel final : public SharingChannel {
 // PullChannel: the Shared Pages List behind the channel interface. Close
 // seals the SPL's attach window, which both matches the stage's session
 // lifetime (the registry entry is dropped at close) and arms page
-// reclamation.
+// reclamation. Batched puts publish the whole run with one SPL
+// bookkeeping pass (AppendBatch).
 // ---------------------------------------------------------------------------
 
 class PullChannel final : public SharingChannel {
@@ -173,16 +257,29 @@ class PullChannel final : public SharingChannel {
       : options_(std::move(options)),
         spl_(SharedPagesList::Create(options_.metrics, options_.governor)) {}
 
-  PageSourceRef AttachReader() override { return spl_->AttachReader(); }
+  PageSourceRef AttachReader() override {
+    if (options_.on_attach_cost == nullptr) return spl_->AttachReader();
+    const int64_t start = NowNanos();
+    auto reader = spl_->AttachReader();
+    if (reader != nullptr) {
+      options_.on_attach_cost(static_cast<double>(NowNanos() - start));
+    }
+    return reader;
+  }
 
   bool Put(PageRef page) override {
     std::size_t produced = spl_->Append(std::move(page));
     if (produced == 0) return false;
-    if (LagSampler::ShouldSample(produced)) {
-      std::size_t min_pos = spl_->MinReaderPosition();
-      std::lock_guard<std::mutex> lock(close_mutex_);
-      lag_.Update(produced, min_pos);
-    }
+    SampleLag(produced - 1, produced);
+    return true;
+  }
+
+  bool PutBatch(std::vector<PageRef> pages) override {
+    if (pages.empty()) return !spl_->closed();
+    const std::size_t count = pages.size();
+    std::size_t produced = spl_->AppendBatch(std::move(pages));
+    if (produced == 0) return false;
+    SampleLag(produced - count, produced);
     return true;
   }
 
@@ -218,6 +315,13 @@ class PullChannel final : public SharingChannel {
   SpMode mode() const override { return SpMode::kPull; }
 
  private:
+  void SampleLag(std::size_t prev_produced, std::size_t produced) {
+    if (!LagSampler::ShouldSample(prev_produced, produced)) return;
+    std::size_t min_pos = spl_->MinReaderPosition();
+    std::lock_guard<std::mutex> lock(close_mutex_);
+    lag_.Update(produced, min_pos);
+  }
+
   SharingChannelOptions options_;
   std::shared_ptr<SharedPagesList> spl_;
   mutable std::mutex close_mutex_;

@@ -88,6 +88,15 @@ struct SharingChannelOptions {
   /// pages produced, lag) so the stage can feed its adaptive policy and
   /// deregister the session. Called without channel locks held.
   std::function<void(const SharingChannel::Stats&)> on_close;
+
+  /// Online cost measurement hooks (the adaptive cost model's EWMA feed;
+  /// see SharingCostModel::RecordCopyCost/RecordAttachCost). Both are
+  /// invoked from hot paths — push channels sample one deep copy every
+  /// few dozen (nanoseconds per copied page); pull channels time every
+  /// AttachReader (nanoseconds per attach). Leave unset to skip the
+  /// measurement entirely.
+  std::function<void(double copy_ns_per_page)> on_copy_cost;
+  std::function<void(double attach_ns)> on_attach_cost;
 };
 
 /// Builds a channel for `mode`, which must be kPush or kPull.

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "qpipe/batch_pipe.h"
 
 namespace sharing {
 
@@ -280,6 +281,15 @@ PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
   copts.fifo_capacity = options_.fifo_capacity;
   copts.metrics = metrics_;
   copts.governor = options_.governor;
+  // Online transport-cost feed: the channel samples its own copy/attach
+  // wall time and the model's EWMA replaces the fixed constants (the
+  // cost model outlives every channel — Stage owns both).
+  copts.on_copy_cost = [this](double ns_per_page) {
+    cost_model_->RecordCopyCost(ns_per_page);
+  };
+  copts.on_attach_cost = [this](double attach_ns) {
+    cost_model_->RecordAttachCost(attach_ns);
+  };
   // The close hook needs the channel's identity to deregister exactly this
   // session (a newer host may have replaced it under the same signature),
   // but the channel is constructed after the hook — bridge with a slot.
@@ -315,6 +325,18 @@ void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
   packet->output = std::move(output);
   if (make_inputs) packet->inputs = make_inputs();
   if (prepare) prepare(*packet);
+  // Batched transport wiring: the operator keeps its page-at-a-time
+  // loop, but every page crossing a stage boundary rides a batch — one
+  // lock acquisition (FIFO) or one publication + wake sweep (SPL) per
+  // sp_read_batch pages instead of per page.
+  if (options_.sp_read_batch > 1) {
+    for (PageSourceRef& input : packet->inputs) {
+      input = std::make_shared<BatchingSource>(std::move(input),
+                                               options_.sp_read_batch);
+    }
+    packet->output = std::make_shared<BatchingSink>(std::move(packet->output),
+                                                    options_.sp_read_batch);
+  }
 
   packets_executed_.fetch_add(1, std::memory_order_relaxed);
   // Observed packet wall time — the W of the signature's cost model.

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "qpipe/batch_pipe.h"
 #include "qpipe/sharing_channel.h"
 
 namespace sharing {
@@ -140,6 +141,64 @@ TEST_P(SharingChannelTest, OnCloseReportsSessionStats) {
   EXPECT_EQ(closing.readers_attached, 2u);
   EXPECT_EQ(closing.pages_produced, 2u);
   EXPECT_FALSE(closing.attach_window_open);
+}
+
+// Batched producer + batched consumers must deliver the identical
+// ordered stream — the amortized hot path cannot reorder, drop, or
+// duplicate (exercises SharedPagesList::AppendBatch + SplReader::
+// NextBatch on pull, FifoBuffer::PushBatch/PopBatch on push).
+TEST_P(SharingChannelTest, BatchedPutAndBatchedReadPreserveTheStream) {
+  auto channel = MakeChannel();
+  constexpr int kReaders = 3;
+  constexpr int kPages = 200;
+  constexpr std::size_t kBatch = 8;
+
+  std::vector<PageSourceRef> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    auto reader = channel->AttachReader();
+    ASSERT_NE(reader, nullptr);
+    readers.push_back(std::move(reader));
+  }
+
+  std::thread producer([&] {
+    std::vector<PageRef> batch;
+    for (int i = 0; i < kPages; ++i) {
+      batch.push_back(MakePage(i, 1));
+      if (batch.size() == kBatch) {
+        ASSERT_TRUE(channel->PutBatch(std::move(batch)));
+        batch = {};
+      }
+    }
+    if (!batch.empty()) ASSERT_TRUE(channel->PutBatch(std::move(batch)));
+    channel->Close(Status::OK());
+  });
+
+  std::vector<std::thread> consumers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kReaders; ++r) {
+    consumers.emplace_back([&, r] {
+      int64_t expect = 0;
+      std::vector<PageRef> got;
+      for (;;) {
+        got.clear();
+        // Deliberately a different batch size than the producer's: the
+        // reader's view must be independent of publication batching.
+        std::size_t n = readers[r]->NextBatch(5, &got);
+        if (n == 0) break;
+        if (n != got.size()) failures.fetch_add(1);
+        for (const PageRef& page : got) {
+          if (FirstValue(page) != expect * 100) failures.fetch_add(1);
+          ++expect;
+        }
+      }
+      if (expect != kPages) failures.fetch_add(1);
+      if (!readers[r]->FinalStatus().ok()) failures.fetch_add(1);
+      if (readers[r]->PagesDelivered() != kPages) failures.fetch_add(1);
+    });
+  }
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(PushAndPull, SharingChannelTest,
@@ -616,6 +675,249 @@ TEST(SpillChannelTest, ConcurrentSpilledDrainIsBitExact) {
   EXPECT_EQ(retained->Get(), 0);
   EXPECT_EQ(spill_bytes->Get(), 0);
   EXPECT_EQ(governor->InMemoryPages(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SPL hot-path concurrency: the lock-free publication protocol, per-reader
+// parking, and batched cursors under adversarial interleavings. These are
+// the suites ci/verify.sh runs under ThreadSanitizer.
+// ---------------------------------------------------------------------------
+
+// Attach mid-production, drain under spill pressure, cancel mid-batch —
+// all at once, repeatedly. Every surviving reader must observe a correct
+// prefix-free stream (the full result), cancelled readers a prefix, and
+// both memory tiers must return to zero.
+TEST(SplContentionTest, ConcurrentAttachDrainCancelStress) {
+  constexpr int kIterations = 8;
+  constexpr int kPages = 400;
+  constexpr std::size_t kBudget = 16;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    MetricsRegistry metrics;
+    Gauge* retained = metrics.GetGauge(metrics::kSpPagesRetained);
+    Gauge* spill_bytes = metrics.GetGauge(metrics::kSpSpillBytes);
+    auto governor = MakeGovernor(&metrics, kBudget);
+    auto channel = MakePullChannel(&metrics, governor);
+
+    std::atomic<int> failures{0};
+    std::atomic<bool> window_open{true};
+
+    // A batched drain loop shared by every consumer flavor; returns the
+    // pages it saw (validating order), -1 on a corruption.
+    auto drain = [&](PageSourceRef reader, int cancel_after) -> int {
+      int64_t expect = -1;
+      std::vector<PageRef> got;
+      int count = 0;
+      for (;;) {
+        got.clear();
+        std::size_t n = reader->NextBatch(7, &got);
+        if (n == 0) break;
+        for (const PageRef& page : got) {
+          int64_t value = FirstValue(page) / 100;
+          if (expect < 0) expect = value;  // late attachers still start at 0
+          if (value != expect) return -1;
+          ++expect;
+          ++count;
+        }
+        if (cancel_after > 0 && count >= cancel_after) {
+          reader->CancelConsumer();  // cancel mid-batch-stream
+          break;
+        }
+      }
+      return count;
+    };
+
+    std::vector<std::thread> threads;
+    // Two steady readers attached before production.
+    for (int r = 0; r < 2; ++r) {
+      auto reader = channel->AttachReader();
+      ASSERT_NE(reader, nullptr);
+      threads.emplace_back([&, reader] {
+        int count = drain(reader, 0);
+        if (count != kPages || !reader->FinalStatus().ok()) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    // One reader cancels mid-drain.
+    {
+      auto reader = channel->AttachReader();
+      ASSERT_NE(reader, nullptr);
+      threads.emplace_back([&, reader] {
+        if (drain(reader, kPages / 4) < 0) failures.fetch_add(1);
+      });
+    }
+    // Late attachers arrive while the producer runs; whoever attaches
+    // before the seal must still see the FULL history (possibly from the
+    // spill tier).
+    for (int r = 0; r < 3; ++r) {
+      threads.emplace_back([&] {
+        while (window_open.load()) {
+          auto reader = channel->AttachReader();
+          if (reader == nullptr) return;  // sealed: valid outcome
+          int count = drain(reader, 0);
+          if (count < 0) failures.fetch_add(1);
+          if (count >= 0 && reader->FinalStatus().ok() && count != kPages) {
+            failures.fetch_add(1);  // un-cancelled reader missed history
+          }
+          return;
+        }
+      });
+    }
+
+    std::thread producer([&] {
+      std::vector<PageRef> batch;
+      for (int i = 0; i < kPages; ++i) {
+        batch.push_back(MakePage(i, 1));
+        if (batch.size() == 4) {
+          channel->PutBatch(std::move(batch));
+          batch = {};
+        }
+      }
+      if (!batch.empty()) channel->PutBatch(std::move(batch));
+      channel->Close(Status::OK());
+      window_open.store(false);
+    });
+
+    producer.join();
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0) << "iteration " << iter;
+    EXPECT_EQ(retained->Get(), 0);
+    EXPECT_EQ(spill_bytes->Get(), 0);
+    EXPECT_EQ(governor->InMemoryPages(), 0u);
+  }
+}
+
+// The lost-wakeup race the per-reader parking protocol must exclude: a
+// reader parks at the frontier at the same instant the producer seals and
+// closes. A lost wakeup hangs this test (ctest's timeout fails it); run
+// many iterations to sample the interleaving space.
+TEST(SplContentionTest, CloseRacingParkingReaderNeverLosesTheWakeup) {
+  constexpr int kIterations = 300;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    MetricsRegistry metrics;
+    SharingChannelOptions options;
+    options.metrics = &metrics;
+    auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+    auto fast = channel->AttachReader();
+    auto slow = channel->AttachReader();
+
+    std::atomic<int> consumed{0};
+    std::thread reader_a([&] {
+      while (fast->Next() != nullptr) consumed.fetch_add(1);
+    });
+    std::thread reader_b([&] {
+      while (slow->Next() != nullptr) consumed.fetch_add(1);
+    });
+    // A couple of pages, then an immediate seal+close: the readers are
+    // either mid-drain, spinning, or parking right as closed_ flips.
+    channel->Put(MakePage(iter, 1));
+    channel->Put(MakePage(iter + 1, 1));
+    channel->Close(Status::OK());
+    reader_a.join();  // hangs here iff a wakeup was lost
+    reader_b.join();
+    EXPECT_EQ(consumed.load(), 4);
+    EXPECT_TRUE(fast->FinalStatus().ok());
+    EXPECT_TRUE(slow->FinalStatus().ok());
+  }
+}
+
+// Producer-close wake semantics with a reader ALREADY parked: the close
+// must reach a reader that went to sleep long before it.
+TEST(SplContentionTest, ParkedReaderWakesOnCloseAndOnCancel) {
+  MetricsRegistry metrics;
+  {
+    SharingChannelOptions options;
+    options.metrics = &metrics;
+    auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+    auto reader = channel->AttachReader();
+    std::thread blocked([&] { EXPECT_EQ(reader->Next(), nullptr); });
+    // Give the reader time to pass the spin phase and genuinely park.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    channel->Close(Status::OK());
+    blocked.join();
+    EXPECT_TRUE(reader->FinalStatus().ok());
+  }
+  {
+    SharingChannelOptions options;
+    options.metrics = &metrics;
+    auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+    auto reader = channel->AttachReader();
+    std::thread blocked([&] { EXPECT_EQ(reader->Next(), nullptr); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    reader->CancelConsumer();  // cross-thread cancel must also wake it
+    blocked.join();
+    EXPECT_EQ(reader->FinalStatus().code(), StatusCode::kAborted);
+    channel->Close(Status::OK());
+  }
+}
+
+// Many readers parked simultaneously: one append's seeded wakeup must
+// propagate through the chained fan-out to every frontier reader.
+TEST(SplContentionTest, ChainedWakeupReachesEveryParkedReader) {
+  constexpr int kReaders = 16;
+  constexpr int kRounds = 50;
+  MetricsRegistry metrics;
+  SharingChannelOptions options;
+  options.metrics = &metrics;
+  auto channel = MakeSharingChannel(SpMode::kPull, std::move(options));
+
+  std::vector<PageSourceRef> readers;
+  for (int r = 0; r < kReaders; ++r) readers.push_back(channel->AttachReader());
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      while (readers[r]->Next() != nullptr) total.fetch_add(1);
+    });
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    // Let the herd drain and park, then publish ONE page: the chain (not
+    // the producer) must fan the single seeded notification out to all
+    // kReaders parked consumers. A stranded reader hangs the join.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    channel->Put(MakePage(round, 1));
+  }
+  channel->Close(Status::OK());
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), kReaders * kRounds);
+  EXPECT_EQ(metrics.GetCounter(metrics::kSpPagesCopied)->Get(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Batch adapters: the packet-side wrappers Stage wires around inputs and
+// outputs when sp_read_batch > 1.
+// ---------------------------------------------------------------------------
+
+TEST(BatchPipeTest, SinkBuffersUntilBatchAndFlushesOnClose) {
+  auto fifo = std::make_shared<FifoBuffer>(/*capacity_pages=*/16);
+  BatchingSink sink(fifo, /*batch=*/4);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(sink.Put(MakePage(i, 1)));
+  // 4 flushed at the batch boundary, 2 still buffered.
+  EXPECT_EQ(fifo->Size(), 4u);
+  sink.Close(Status::OK());
+  EXPECT_EQ(fifo->Size(), 6u) << "Close must flush the partial batch";
+
+  BatchingSource source(fifo, /*batch=*/4);
+  for (int i = 0; i < 6; ++i) {
+    PageRef page = source.Next();
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(FirstValue(page), i * 100);
+    EXPECT_EQ(source.PagesDelivered(), static_cast<std::size_t>(i + 1));
+  }
+  EXPECT_EQ(source.Next(), nullptr);
+  EXPECT_TRUE(source.FinalStatus().ok());
+}
+
+TEST(BatchPipeTest, SinkReportsDeadConsumerWithinOneBatch) {
+  auto fifo = std::make_shared<FifoBuffer>(/*capacity_pages=*/16);
+  BatchingSink sink(fifo, /*batch=*/4);
+  fifo->CancelReader();
+  // The delayed-false contract: at most batch-1 buffered puts may still
+  // report true; the flush at the boundary must surface the dead reader.
+  bool alive = true;
+  for (int i = 0; i < 4 && alive; ++i) alive = sink.Put(MakePage(i, 1));
+  EXPECT_FALSE(alive);
+  EXPECT_FALSE(sink.Put(MakePage(9, 1))) << "a dead sink must stay dead";
 }
 
 }  // namespace
