@@ -28,11 +28,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "exec/explain.h"
 
 using namespace sharing;
 using namespace sharing::bench;
@@ -110,12 +113,25 @@ PlanNodeRef MakeFatScan() {
   return std::make_shared<ScanNode>("lineitem", schema, pred, projection);
 }
 
+/// Per-signature roll-up of every collected query's explain report: how
+/// often the signature hosted / attached / ran unshared, and where its
+/// pages came from (SPL references vs push copies).
+struct ExplainSummary {
+  int64_t host = 0;
+  int64_t satellite = 0;
+  int64_t unshared = 0;
+  int64_t pages_shared = 0;
+  int64_t pages_copied = 0;
+  int64_t run_micros = 0;
+};
+
 struct SignatureReport {
   SharingCostModel::SignatureSnapshot skinny;
   SharingCostModel::SignatureSnapshot fat;
   MetricsSnapshot delta;
   double wall_ms = 0;
   int64_t sp_hits = 0;
+  std::map<uint64_t, ExplainSummary> explain_by_sig;
 };
 
 SignatureReport RunHeterogeneous(Database* db, int rounds, int skinny_width,
@@ -129,6 +145,8 @@ SignatureReport RunHeterogeneous(Database* db, int rounds, int skinny_width,
   PlanNodeRef fat = MakeFatScan();
 
   Stopwatch wall;
+  std::mutex explains_mutex;
+  std::vector<std::shared_ptr<const QueryExplain>> explains;
   for (int r = 0; r < rounds; ++r) {
     std::vector<QueryHandle> handles;
     for (int i = 0; i < skinny_width; ++i) handles.push_back(engine.Submit(skinny));
@@ -138,8 +156,12 @@ SignatureReport RunHeterogeneous(Database* db, int rounds, int skinny_width,
     std::vector<std::thread> consumers;
     std::atomic<int> ok{0};
     for (auto& h : handles) {
-      consumers.emplace_back([&h, &ok] {
-        if (h.Collect().ok()) ok.fetch_add(1);
+      consumers.emplace_back([&h, &ok, &explains_mutex, &explains] {
+        auto r = h.Collect();
+        if (!r.ok()) return;
+        ok.fetch_add(1);
+        std::lock_guard<std::mutex> lock(explains_mutex);
+        explains.push_back(r.value().explain());
       });
     }
     for (auto& c : consumers) c.join();
@@ -155,6 +177,26 @@ SignatureReport RunHeterogeneous(Database* db, int rounds, int skinny_width,
   const bool first_is_skinny = snaps[0].mean_pages < snaps[1].mean_pages;
   report.skinny = first_is_skinny ? snaps[0] : snaps[1];
   report.fat = first_is_skinny ? snaps[1] : snaps[0];
+  for (const auto& explain : explains) {
+    if (explain == nullptr) continue;
+    for (const auto& stage : explain->stages) {
+      ExplainSummary& sum = report.explain_by_sig[stage.signature];
+      switch (stage.role) {
+        case QueryExplain::StageRecord::Role::kHost:
+          ++sum.host;
+          break;
+        case QueryExplain::StageRecord::Role::kSatellite:
+          ++sum.satellite;
+          break;
+        case QueryExplain::StageRecord::Role::kUnshared:
+          ++sum.unshared;
+          break;
+      }
+      sum.pages_shared += static_cast<int64_t>(stage.pages_shared);
+      sum.pages_copied += static_cast<int64_t>(stage.pages_copied);
+      sum.run_micros += stage.run_micros;
+    }
+  }
   return report;
 }
 
@@ -292,6 +334,27 @@ int main() {
       static_cast<long long>(report.delta[metrics::kPolicyDecisionsUnshared]),
       static_cast<long long>(report.delta[metrics::kPolicyFlips]));
 
+  // Per-signature explain roll-up: the same divergence, but told by the
+  // queries themselves (every collected ResultSet's explain report)
+  // rather than the cost model's internal counters.
+  const std::pair<const char*, uint64_t> sig_names[] = {
+      {"skinny", report.skinny.signature}, {"fat", report.fat.signature}};
+  std::printf(
+      "\nExplain roll-up (every collected query's sharing report):\n");
+  std::printf("%-8s %6s %11s %9s %13s %13s %9s\n", "sig", "hosts",
+              "satellites", "unshared", "pages-shared", "pages-copied",
+              "run(ms)");
+  for (const auto& [name, sig] : sig_names) {
+    const ExplainSummary& s = report.explain_by_sig[sig];
+    std::printf("%-8s %6lld %11lld %9lld %13lld %13lld %9.1f\n", name,
+                static_cast<long long>(s.host),
+                static_cast<long long>(s.satellite),
+                static_cast<long long>(s.unshared),
+                static_cast<long long>(s.pages_shared),
+                static_cast<long long>(s.pages_copied),
+                static_cast<double>(s.run_micros) / 1e3);
+  }
+
   const bool diverged =
       report.fat.decided_pull > 0 && report.skinny.decided_pull == 0;
   std::printf(
@@ -305,11 +368,26 @@ int main() {
   if (json != nullptr) {
     JsonSignatureRow(json, &first_row, "skinny", report.skinny);
     JsonSignatureRow(json, &first_row, "fat", report.fat);
+    for (const auto& [name, sig] : sig_names) {
+      const ExplainSummary& s = report.explain_by_sig[sig];
+      std::fprintf(json,
+                   ",\n  {\"part\": \"explain\", \"signature\": \"%s\", "
+                   "\"hosts\": %lld, \"satellites\": %lld, "
+                   "\"unshared\": %lld, \"pages_shared\": %lld, "
+                   "\"pages_copied\": %lld, \"run_ms\": %.1f}",
+                   name, static_cast<long long>(s.host),
+                   static_cast<long long>(s.satellite),
+                   static_cast<long long>(s.unshared),
+                   static_cast<long long>(s.pages_shared),
+                   static_cast<long long>(s.pages_copied),
+                   static_cast<double>(s.run_micros) / 1e3);
+    }
     std::fprintf(json,
                  ",\n  {\"part\": \"heterogeneous\", \"summary\": true, "
                  "\"wall_ms\": %.1f, \"sp_hits\": %lld, \"diverged\": %s}",
                  report.wall_ms, static_cast<long long>(report.sp_hits),
                  diverged ? "true" : "false");
+    JsonMetricsRow(json, &first_row, report.delta);
     std::fprintf(json, "\n]\n");
     std::fclose(json);
   }

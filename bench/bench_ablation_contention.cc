@@ -94,6 +94,7 @@ struct CellResult {
   int64_t parks = 0;
   int64_t spilled = 0;
   bool ok = true;
+  MetricsSnapshot snap;  // the cell's full registry (JsonMetricsRow)
 };
 
 /// One cell: a producer appends `pages` through a pull channel in
@@ -198,6 +199,7 @@ CellResult RunCell(std::size_t pages, std::size_t readers, bool spill) {
   result.lock_waits = snap[metrics::kSpLockWaits];
   result.parks = snap[metrics::kSpReaderParks];
   result.spilled = snap[metrics::kSpPagesSpilled];
+  result.snap = std::move(snap);
   return result;
 }
 
@@ -238,10 +240,12 @@ int main() {
   int64_t resident_32_p99 = 0;
   bool all_ok = true;
   bool first = true;
+  MetricsSnapshot last_snap;
   for (bool spill : {false, true}) {
     for (std::size_t readers : fan_outs) {
       CellResult r = RunCell(pages, readers, spill);
       all_ok = all_ok && r.ok;
+      last_snap = r.snap;
       const char* config = spill ? "spill" : "resident";
       if (!spill) {
         if (readers == 1) {
@@ -284,6 +288,7 @@ int main() {
     }
   }
   if (json != nullptr) {
+    JsonMetricsRow(json, &first, last_snap);
     std::fprintf(json, "\n]\n");
     std::fclose(json);
   }

@@ -64,6 +64,7 @@ struct CellResult {
   int64_t unspills = 0;
   int64_t stall_micros = 0;
   int64_t queue_hwm = 0;
+  MetricsSnapshot snap;  // the cell's full registry (JsonMetricsRow)
 };
 
 /// One sweep cell: produce `pages` through a pull channel under a
@@ -134,6 +135,7 @@ CellResult RunCell(std::size_t pages, std::size_t threads,
   result.unspills = snap[metrics::kSpUnspillReads];
   result.stall_micros = snap[metrics::kIoStallMicros];
   result.queue_hwm = snap[std::string(metrics::kIoQueueDepth) + ".hwm"];
+  result.snap = std::move(snap);
   return result;
 }
 
@@ -170,10 +172,12 @@ int main() {
   }
 
   bool first = true;
+  MetricsSnapshot last_snap;
   for (std::size_t threads : thread_counts) {
     for (uint32_t read_latency : read_latencies) {
       for (std::size_t budget_mib : budgets_mib) {
         CellResult r = RunCell(pages, threads, read_latency, budget_mib);
+        last_snap = r.snap;
         std::string budget_label =
             budget_mib == 0 ? "unlimited" : std::to_string(budget_mib);
         std::printf("%-8zu %-10u %-10s %11.1f %10.1f %9lld %9lld %12lld %10lld\n",
@@ -203,6 +207,7 @@ int main() {
     }
   }
   if (json != nullptr) {
+    JsonMetricsRow(json, &first, last_snap);
     std::fprintf(json, "\n]\n");
     std::fclose(json);
   }

@@ -56,6 +56,7 @@ struct CellResult {
   int64_t unspills = 0;
   int64_t retained_hwm = 0;
   int64_t spill_bytes_hwm = 0;
+  MetricsSnapshot snap;  // the cell's full registry (JsonMetricsRow)
 };
 
 /// One sweep cell: produce `pages` through a pull channel whose slow
@@ -130,6 +131,7 @@ CellResult RunCell(std::size_t pages, std::size_t lag, std::size_t budget,
   result.unspills = snap[metrics::kSpUnspillReads];
   result.retained_hwm = snap[std::string(metrics::kSpPagesRetained) + ".hwm"];
   result.spill_bytes_hwm = snap[std::string(metrics::kSpSpillBytes) + ".hwm"];
+  result.snap = std::move(snap);
   return result;
 }
 
@@ -206,10 +208,12 @@ int main() {
       kIndependenceBudget, kIndependenceReadLat);
   std::printf("%-10s %-10s %12s %10s\n", "writelat", "mode", "append(ms)",
               "spilled");
+  MetricsSnapshot last_snap;
   for (bool async_scheduler : {false, true}) {
     for (uint32_t write_lat : write_lats) {
       CellResult r = RunCell(pages, pages, kIndependenceBudget, write_lat,
                              async_scheduler, kIndependenceReadLat);
+      last_snap = r.snap;
       std::printf("%-10u %-10s %12.1f %10lld\n", write_lat,
                   async_scheduler ? "async" : "sync", r.append_ms,
                   static_cast<long long>(r.spilled));
@@ -227,6 +231,8 @@ int main() {
   }
 
   if (json != nullptr) {
+    bool not_first = false;
+    JsonMetricsRow(json, &not_first, last_snap);
     std::fprintf(json, "\n]\n");
     std::fclose(json);
   }

@@ -71,6 +71,25 @@ inline PlanNodeRef StarJoinRootOf(PlanNodeRef plan) {
   return plan;
 }
 
+/// Appends one {"part": "metrics", "metrics": {...}} row to an open
+/// bench JSON array: the run's metrics-registry snapshot (counters,
+/// gauges, and the histogram count/p50/p95/p99 views), so every
+/// BENCH_*.json records the engine internals behind its headline
+/// numbers. Metric names are [a-z0-9._] by construction — no escaping.
+inline void JsonMetricsRow(std::FILE* json, bool* first,
+                           const MetricsSnapshot& snapshot) {
+  std::fprintf(json, "%s  {\"part\": \"metrics\", \"metrics\": {",
+               *first ? "" : ",\n");
+  bool first_kv = true;
+  for (const auto& [name, value] : snapshot) {
+    std::fprintf(json, "%s\"%s\": %lld", first_kv ? "" : ", ", name.c_str(),
+                 static_cast<long long>(value));
+    first_kv = false;
+  }
+  std::fprintf(json, "}}");
+  *first = false;
+}
+
 inline void PrintHeader(const std::string& title) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());

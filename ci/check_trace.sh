@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Trace pipeline check: run the traced smoke workload (examples/
+# trace_smoke.cpp — a pull-model host + satellite over disk-resident
+# TPC-H Q1 with tracing on) and validate the exported Chrome trace JSON
+# with tools/trace_check: well-formed, timestamps monotonic per tid,
+# spans present from all five instrumented layers (engine, stage,
+# sharing channel, SPL, IoScheduler), and at least one query id
+# correlating engine+stage+sharing. Also sanity-checks the per-query
+# sharing-explain JSON lines the smoke run dumps.
+#
+# Usage: ci/check_trace.sh [build_dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target trace_smoke trace_check
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+TRACE_JSON="$OUT_DIR/trace_smoke.json"
+EXPLAIN_JSON="$OUT_DIR/trace_smoke_explain.json"
+
+"./$BUILD_DIR/trace_smoke" "$TRACE_JSON" "$EXPLAIN_JSON"
+
+"./$BUILD_DIR/trace_check" "$TRACE_JSON"
+
+# The explain dump: one JSON object per query, each with a stages array
+# and both sharing roles from the smoke's host+satellite session.
+lines="$(wc -l < "$EXPLAIN_JSON")"
+if [[ "$lines" -ne 2 ]]; then
+  echo "check_trace: FAIL: expected 2 explain lines, got $lines" >&2
+  exit 1
+fi
+for needle in '"query_id":' '"stages":[' '"role":"host"' '"role":"satellite"' \
+              '"decided_by":"attach"'; do
+  if ! grep -qF "$needle" "$EXPLAIN_JSON"; then
+    echo "check_trace: FAIL: explain dump missing $needle" >&2
+    exit 1
+  fi
+done
+
+echo "check_trace: OK"

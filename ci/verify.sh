@@ -22,6 +22,13 @@ ci/check_docs.sh
 echo "=== tier-1: release build + ctest ==="
 run_suite build
 
+echo "=== trace pipeline: traced smoke run + export validation ==="
+# Runs the pull-model host+satellite smoke with tracing on, then
+# validates the Chrome JSON (well-formed, monotonic per tid, all five
+# instrumented layers present, query ids correlated) and the per-query
+# sharing-explain dump.
+ci/check_trace.sh build
+
 echo "=== spill ablation (smoke) -> BENCH_spill.json ==="
 # A small sweep so every verify run records spill-regime numbers; the
 # perf trajectory lives in BENCH_spill.json (budget x slow-reader lag,
@@ -63,7 +70,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake -B build-tsan -S . -DSHARING_TSAN=ON
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'SharingChannelTest|PushChannelTest|PullChannelTest|SpillChannelTest|SplContentionTest|BatchPipeTest|SplTest|FifoBufferTest|AsyncSpillTest|SpillEngineTest|SpBudgetGovernorTest|IoSchedulerTest|CircularScanPrefetchTest'
+    -R 'SharingChannelTest|PushChannelTest|PullChannelTest|SpillChannelTest|SplContentionTest|BatchPipeTest|SplTest|FifoBufferTest|AsyncSpillTest|SpillEngineTest|SpBudgetGovernorTest|IoSchedulerTest|CircularScanPrefetchTest|TraceTest'
 fi
 
 echo "verify: OK"

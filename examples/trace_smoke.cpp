@@ -1,0 +1,98 @@
+// Traced smoke run: one pull-model sharing session (host + satellite)
+// over a disk-resident TPC-H Q1, with a deliberately tiny SP budget and
+// buffer pool so every instrumented layer fires — engine submit/collect,
+// stage RunPacket, sharing-channel puts, SPL attach/park/spill/fault-back,
+// IoScheduler jobs, and buffer-pool miss stalls.
+//
+//   ./trace_smoke [trace_json_path] [explain_json_path]
+//
+// Writes the Chrome trace-event JSON (load it in Perfetto /
+// chrome://tracing) and one sharing-explain JSON line per query.
+// ci/check_trace.sh runs this binary and validates both files with
+// tools/trace_check.
+
+#include <cstdio>
+
+#include "common/trace.h"
+#include "core/sharing_engine.h"
+#include "workload/tpch.h"
+
+using namespace sharing;
+
+int main(int argc, char** argv) {
+  const char* trace_path = argc > 1 ? argv[1] : "trace_smoke.json";
+  const char* explain_path = argc > 2 ? argv[2] : "trace_smoke_explain.json";
+
+  // A pool far below the working set: the scan pays real (modeled) disk
+  // reads, so bufferpool.miss_stall and io.prefetch show up in the trace.
+  DatabaseOptions db_options;
+  db_options.buffer_pool_frames = 256;
+  Database db(db_options);
+  db.SetMemoryResident();  // free generation
+  auto table = tpch::GenerateLineitem(db.catalog(), db.buffer_pool(), 0.02);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  db.SetDiskResident();
+
+  EngineConfig config;
+  config.mode = EngineMode::kSpPull;
+  config.trace_enabled = true;
+  config.trace_buffer_events = 1 << 16;
+  config.sp_memory_budget = 32;  // overflow early: spill + fault-back
+  config.io_threads = 2;
+  SharingEngine engine(&db, config);
+
+  // Host + satellite on the same plan: the second submission attaches to
+  // the in-flight session, and its lagging reader is what forces the
+  // host's retained pages over budget.
+  PlanNodeRef plan = tpch::MakeQ1Plan(90);
+  QueryHandle host = engine.Submit(plan);
+  QueryHandle satellite = engine.Submit(plan);
+  auto host_result = host.Collect();
+  if (!host_result.ok()) {
+    std::fprintf(stderr, "host: %s\n",
+                 host_result.status().ToString().c_str());
+    return 1;
+  }
+  auto sat_result = satellite.Collect();
+  if (!sat_result.ok()) {
+    std::fprintf(stderr, "satellite: %s\n",
+                 sat_result.status().ToString().c_str());
+    return 1;
+  }
+  if (host_result.value().CanonicalRows() !=
+      sat_result.value().CanonicalRows()) {
+    std::fprintf(stderr, "host and satellite results differ\n");
+    return 1;
+  }
+  std::printf("host and satellite agree: %zu rows\n",
+              host_result.value().num_rows());
+
+  // The per-query sharing-explain reports, one JSON line each.
+  std::FILE* ef = std::fopen(explain_path, "w");
+  if (ef == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", explain_path);
+    return 1;
+  }
+  for (const auto* result : {&host_result.value(), &sat_result.value()}) {
+    const auto& explain = result->explain();
+    if (explain == nullptr) {
+      std::fprintf(stderr, "result is missing its explain report\n");
+      return 1;
+    }
+    std::printf("%s\n", explain->ToString().c_str());
+    std::fprintf(ef, "%s\n", explain->ToJson().c_str());
+  }
+  std::fclose(ef);
+
+  Status st = Trace::ExportChromeJsonToFile(trace_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace export: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("trace: %zu events -> %s\nexplain: 2 queries -> %s\n",
+              Trace::ResidentEvents(), trace_path, explain_path);
+  return 0;
+}

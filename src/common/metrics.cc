@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -20,6 +21,16 @@ double Histogram::Mean() const {
          static_cast<double>(total);
 }
 
+int64_t Histogram::RecordedMin() const {
+  int64_t v = min_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<int64_t>::max() ? 0 : v;
+}
+
+int64_t Histogram::RecordedMax() const {
+  int64_t v = max_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<int64_t>::min() ? 0 : v;
+}
+
 int64_t Histogram::ValueAtQuantile(double q) const {
   int64_t total = TotalCount();
   if (total == 0) return 0;
@@ -28,16 +39,27 @@ int64_t Histogram::ValueAtQuantile(double q) const {
   int64_t rank = std::max<int64_t>(
       1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
   int64_t seen = 0;
+  int64_t estimate = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += counts_[b].load(std::memory_order_relaxed);
     if (seen >= rank) {
       // Geometric middle of [2^b, 2^(b+1)).
-      if (b >= 62) return int64_t{1} << 62;
-      int64_t lo = int64_t{1} << b;
-      return lo + lo / 2;
+      if (b >= 62) {
+        estimate = int64_t{1} << 62;
+      } else {
+        int64_t lo = int64_t{1} << b;
+        estimate = lo + lo / 2;
+      }
+      break;
     }
   }
-  return 0;
+  // Clamp into the recorded range: a boundary value of exactly 2^b must
+  // not be reported above itself, and negative/zero recordings (all in
+  // bucket 0, whose middle is 1) must not turn into a positive estimate.
+  const int64_t lo_rec = min_.load(std::memory_order_relaxed);
+  const int64_t hi_rec = max_.load(std::memory_order_relaxed);
+  if (lo_rec <= hi_rec) estimate = std::clamp(estimate, lo_rec, hi_rec);
+  return estimate;
 }
 
 std::string Histogram::ToString() const {
@@ -84,6 +106,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, gauge] : gauges_) {
     snap[name] = gauge->Get();
     snap[name + ".hwm"] = gauge->HighWaterMark();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap[name + ".count"] = hist->TotalCount();
+    snap[name + ".p50"] = hist->ValueAtQuantile(0.5);
+    snap[name + ".p95"] = hist->ValueAtQuantile(0.95);
+    snap[name + ".p99"] = hist->ValueAtQuantile(0.99);
   }
   return snap;
 }

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,15 +60,33 @@ class Histogram {
   void Record(int64_t value) {
     counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    // Track the recorded extrema so quantile estimates can be clamped
+    // into the range actually observed (a bucket's geometric middle can
+    // otherwise report above the max — e.g. a single value of exactly
+    // 2^b estimates 1.5 * 2^b — or a nonsense positive value for
+    // negative recordings, which all land in bucket 0).
+    int64_t lo = min_.load(std::memory_order_relaxed);
+    while (value < lo &&
+           !min_.compare_exchange_weak(lo, value, std::memory_order_relaxed)) {
+    }
+    int64_t hi = max_.load(std::memory_order_relaxed);
+    while (value > hi &&
+           !max_.compare_exchange_weak(hi, value, std::memory_order_relaxed)) {
+    }
   }
 
   int64_t TotalCount() const;
+
+  /// Smallest / largest value ever recorded (0 when empty).
+  int64_t RecordedMin() const;
+  int64_t RecordedMax() const;
 
   /// Mean of recorded values (0 when empty).
   double Mean() const;
 
   /// Value at quantile `q` in [0,1], approximated by the geometric middle
-  /// of the bucket containing it. Returns 0 when empty.
+  /// of the bucket containing it and clamped to [RecordedMin,
+  /// RecordedMax]. Returns 0 when empty.
   int64_t ValueAtQuantile(double q) const;
 
   /// "count=N mean=M p50=.. p95=.. p99=.." (values in recorded units).
@@ -83,6 +102,8 @@ class Histogram {
 
   std::atomic<int64_t> counts_[kBuckets] = {};
   std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
 };
 
 /// A bidirectional instantaneous value (e.g. pages currently retained by a
@@ -151,8 +172,12 @@ class MetricsRegistry {
   /// Pointers are stable for the registry's lifetime.
   Gauge* GetGauge(const std::string& name);
 
-  /// Includes every counter under its name and every gauge under both
-  /// `name` (current value) and `name + ".hwm"` (high-water mark).
+  /// Includes every counter under its name, every gauge under both
+  /// `name` (current value) and `name + ".hwm"` (high-water mark), and
+  /// every histogram under `name + ".count"` / `".p50"` / `".p95"` /
+  /// `".p99"`. Counts delta cleanly; quantile keys are point-in-time
+  /// estimates over the histogram's whole life, so their Delta is a
+  /// drift signal, not a windowed quantile.
   MetricsSnapshot Snapshot() const;
 
   /// Returns per-counter deltas `after - before` (counters absent from
@@ -233,6 +258,17 @@ inline constexpr const char* kCjoinBitmapAndOps = "cjoin.bitmap_and_ops";
 inline constexpr const char* kCjoinAdmissionEpochs = "cjoin.admission_epochs";
 inline constexpr const char* kCjoinAdmissionMicros = "cjoin.admission_micros";
 inline constexpr const char* kQueriesFinished = "engine.queries_finished";
+// Span-duration histograms fed by the tracing instrumentation (values in
+// microseconds; see docs/TRACING.md). Recorded whether or not tracing is
+// enabled — histograms are the always-on aggregate view, traces the
+// opt-in per-event one.
+inline constexpr const char* kQueryLatencyMicros = "query.latency";
+inline constexpr const char* kStageRunPacketMicros = "stage.run_packet";
+inline constexpr const char* kIoDispatchWaitPrefetch =
+    "io.dispatch_wait.prefetch";
+inline constexpr const char* kIoDispatchWaitFaultback =
+    "io.dispatch_wait.faultback";
+inline constexpr const char* kIoDispatchWaitSpill = "io.dispatch_wait.spill";
 }  // namespace metrics
 
 }  // namespace sharing

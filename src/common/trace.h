@@ -1,0 +1,182 @@
+// Trace: the engine's always-compiled, off-by-default event recorder.
+//
+// The demo's GUI shows *where time goes* next to every throughput plot;
+// this module is that story for the reproduction: a per-thread
+// lock-free ring buffer of spans and instants covering the whole query
+// lifecycle (engine submit→collect, Stage::RunPacket, cost-model
+// verdicts, sharing-channel puts/attaches, SPL parks and fault-backs,
+// IoScheduler jobs, buffer-pool miss stalls), exported as Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing.
+//
+// Design constraints, in priority order:
+//
+//  1. Disabled cost ≈ zero. Every TRACE_SPAN/TRACE_EVENT compiles to one
+//     relaxed atomic load and a branch when tracing is off — no clock
+//     read, no allocation, no stores. ci/check_trace.sh holds the
+//     instrumented scan path to <2% of an uninstrumented loop.
+//  2. Enabled cost is bounded and lock-free. Each thread writes its own
+//     fixed-capacity ring (overwrite-oldest), so a traced run can never
+//     block a sharing hot path on a collector mutex or grow without
+//     bound. Memory = threads * trace_buffer_events * sizeof(TraceEvent).
+//  3. TSan-clean concurrent export. Event fields are relaxed atomics
+//     (plain moves on x86-64) guarded by a per-slot version seqlock; the
+//     exporter discards slots it catches mid-write instead of locking
+//     the writer out.
+//
+// Spans are recorded as single Chrome "X" (complete) events at span end
+// — ts + dur in one record — so an overwritten ring never strands a
+// "B" without its "E". Instants are "i" events with thread scope.
+// Correlation: every record carries the query id and packet signature
+// (0 = not applicable); docs/TRACING.md is the span taxonomy.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sharing {
+
+/// One key/value span annotation (values are integers; the exporter
+/// emits them under the event's "args"). Keys must outlive the trace
+/// (string literals or Trace::InternString).
+struct TraceArg {
+  const char* key = nullptr;
+  int64_t value = 0;
+};
+
+class Trace {
+ public:
+  /// Args a single event can carry (beyond query id / signature).
+  static constexpr std::size_t kMaxArgs = 4;
+
+  /// Default per-thread ring capacity in events (the trace_buffer_events
+  /// knob; see docs/KNOBS.md).
+  static constexpr std::size_t kDefaultBufferEvents = 8192;
+
+  /// Turns recording on. Threads that first record after this call get a
+  /// ring of `buffer_events` slots (threads already holding a ring keep
+  /// its original capacity). Idempotent; thread-safe.
+  static void Enable(std::size_t buffer_events = kDefaultBufferEvents);
+
+  /// Turns recording off (buffers and their contents are kept for
+  /// export). Thread-safe.
+  static void Disable();
+
+  /// The hot-path gate: one relaxed load.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic microseconds (steady_clock) — the trace timebase.
+  static int64_t NowMicros();
+
+  /// Records a complete span ("X"): [ts_micros, ts_micros + dur_micros).
+  /// `name` and `category` and every arg key must be string literals or
+  /// interned. No-op when disabled.
+  static void RecordComplete(const char* category, const char* name,
+                             int64_t ts_micros, int64_t dur_micros,
+                             uint64_t query_id, uint64_t signature,
+                             const TraceArg* args = nullptr,
+                             std::size_t nargs = 0);
+
+  /// Records a thread-scoped instant ("i"). No-op when disabled.
+  static void RecordInstant(const char* category, const char* name,
+                            uint64_t query_id, uint64_t signature,
+                            const TraceArg* args = nullptr,
+                            std::size_t nargs = 0);
+
+  /// Copies a runtime string into a process-lifetime C string (deduped),
+  /// suitable as an event name / category / arg key. Takes a lock —
+  /// intern once at setup, never per event.
+  static const char* InternString(const std::string& s);
+
+  /// Serializes every live ring into Chrome trace-event JSON:
+  /// {"traceEvents":[...]}, events sorted by timestamp within each tid.
+  /// Safe to call while other threads record (mid-write slots are
+  /// skipped).
+  static std::string ExportChromeJson();
+
+  /// ExportChromeJson straight to `path`.
+  static Status ExportChromeJsonToFile(const std::string& path);
+
+  /// Drops every recorded event and forgets per-thread rings (live
+  /// threads re-register on their next record). Test scoping only —
+  /// never concurrent with recording threads you care about.
+  static void Clear();
+
+  /// Events currently resident across all rings (post-overwrite; test
+  /// surface).
+  static std::size_t ResidentEvents();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: captures the start time at construction when tracing is
+/// enabled, records one complete event at destruction (or End()).
+/// Cheap to construct disabled: one relaxed load, no clock read.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name, uint64_t query_id = 0,
+            uint64_t signature = 0)
+      : active_(Trace::enabled()) {
+    if (active_) {
+      category_ = category;
+      name_ = name;
+      query_id_ = query_id;
+      signature_ = signature;
+      start_micros_ = Trace::NowMicros();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  /// Attaches an integer annotation (first kMaxArgs stick). `key` must
+  /// be a literal or interned. No-op when the span is inactive.
+  void AddArg(const char* key, int64_t value) {
+    if (!active_ || nargs_ >= Trace::kMaxArgs) return;
+    args_[nargs_].key = key;
+    args_[nargs_].value = value;
+    ++nargs_;
+  }
+
+  /// Ends the span now (idempotent; the destructor calls it).
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    Trace::RecordComplete(category_, name_, start_micros_,
+                          Trace::NowMicros() - start_micros_, query_id_,
+                          signature_, args_, nargs_);
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t query_id_ = 0;
+  uint64_t signature_ = 0;
+  int64_t start_micros_ = 0;
+  TraceArg args_[Trace::kMaxArgs];
+  std::size_t nargs_ = 0;
+};
+
+#define SHARING_TRACE_CONCAT_IMPL(a, b) a##b
+#define SHARING_TRACE_CONCAT(a, b) SHARING_TRACE_CONCAT_IMPL(a, b)
+
+/// Scope-covering span; see TraceSpan for argument lifetimes.
+#define TRACE_SPAN(category, name, query_id, signature)     \
+  ::sharing::TraceSpan SHARING_TRACE_CONCAT(_trace_span_,   \
+                                            __LINE__)(      \
+      (category), (name), (query_id), (signature))
+
+/// Zero-duration marker at the current instant.
+#define TRACE_EVENT(category, name, query_id, signature) \
+  ::sharing::Trace::RecordInstant((category), (name), (query_id), (signature))
+
+}  // namespace sharing

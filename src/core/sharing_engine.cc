@@ -40,6 +40,10 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.io_budget_mib = config_.io_budget_mib;
   qopts.spill_write_window = config_.spill_write_window;
   qopts.scan_prefetch_depth = config_.scan_prefetch_depth;
+  qopts.trace_enabled = config_.trace_enabled;
+  qopts.trace_buffer_events = config_.trace_buffer_events;
+  qopts.stats_report_period_ms = config_.stats_report_period_ms;
+  qopts.stats_report_path = config_.stats_report_path;
   qpipe_ = std::make_unique<QPipeEngine>(db_->catalog(), qopts,
                                          db_->metrics());
 

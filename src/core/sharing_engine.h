@@ -86,6 +86,15 @@ struct EngineConfig {
   std::size_t spill_write_window = 16;
   std::size_t scan_prefetch_depth = 4;
 
+  /// Observability (see QPipeOptions for full semantics): query-lifecycle
+  /// tracing (process-wide recorder, Chrome trace-event export), its
+  /// per-thread ring capacity, and the periodic metrics reporter (0 = no
+  /// reporter thread; empty path = stderr).
+  bool trace_enabled = false;
+  std::size_t trace_buffer_events = 8192;
+  std::size_t stats_report_period_ms = 0;
+  std::string stats_report_path;
+
   /// CJOIN configuration; the pipeline is built iff `fact_table` is
   /// non-empty (GQP modes require it).
   std::string fact_table;

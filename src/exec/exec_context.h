@@ -1,4 +1,5 @@
-// Per-query execution context: cancellation and metrics plumbing.
+// Per-query execution context: cancellation, metrics and explain
+// plumbing.
 
 #pragma once
 
@@ -7,6 +8,7 @@
 #include <memory>
 
 #include "common/metrics.h"
+#include "exec/explain.h"
 
 namespace sharing {
 
@@ -14,10 +16,16 @@ class ExecContext {
  public:
   explicit ExecContext(uint64_t query_id = 0,
                        MetricsRegistry* metrics = &MetricsRegistry::Global())
-      : query_id_(query_id), metrics_(metrics) {}
+      : query_id_(query_id),
+        metrics_(metrics),
+        explain_(std::make_shared<ExplainState>()) {}
 
   uint64_t query_id() const { return query_id_; }
   MetricsRegistry* metrics() const { return metrics_; }
+
+  /// The query's sharing-explain accumulator (always present; stages
+  /// append admission records, workers charge RunPacket time).
+  const ExplainStateRef& explain() const { return explain_; }
 
   /// Cooperative cancellation (paper Fig. 1a: a satellite query may cancel
   /// mid-flight). Operators poll this between pages.
@@ -29,6 +37,7 @@ class ExecContext {
  private:
   uint64_t query_id_;
   MetricsRegistry* metrics_;
+  ExplainStateRef explain_;
   std::atomic<bool> cancelled_{false};
 };
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "storage/tuple.h"
 
 namespace sharing {
+
+struct QueryExplain;
 
 /// An owned, materialized result: schema + packed rows.
 class ResultSet {
@@ -61,9 +64,20 @@ class ResultSet {
 
   std::string ToString(std::size_t max_rows = 20) const;
 
+  /// The sharing-explain report for the query that produced this result
+  /// (set by QueryHandle::Collect; null for hand-built result sets). See
+  /// exec/explain.h.
+  const std::shared_ptr<const QueryExplain>& explain() const {
+    return explain_;
+  }
+  void SetExplain(std::shared_ptr<const QueryExplain> explain) {
+    explain_ = std::move(explain);
+  }
+
  private:
   Schema schema_;
   std::vector<uint8_t> rows_;
+  std::shared_ptr<const QueryExplain> explain_;
 };
 
 }  // namespace sharing

@@ -3,12 +3,19 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace sharing {
 
 namespace {
 
 constexpr double kMiB = 1024.0 * 1024.0;
+
+/// Trace span / instant names per priority class (index = IoPriority).
+constexpr const char* kJobSpanName[kIoPriorityClasses] = {
+    "io.prefetch", "io.faultback", "io.spill"};
+constexpr const char* kEnqueueName[kIoPriorityClasses] = {
+    "io.enqueue.prefetch", "io.enqueue.faultback", "io.enqueue.spill"};
 
 /// Minimum burst so a single 8 KiB page job is always affordable from a
 /// full bucket, even under a tiny configured rate.
@@ -69,6 +76,10 @@ IoScheduler::IoScheduler(Options options)
           options_.metrics->GetCounter(metrics::kIoStallMicrosPrefetch),
           options_.metrics->GetCounter(metrics::kIoStallMicrosFaultback),
           options_.metrics->GetCounter(metrics::kIoStallMicrosSpill)},
+      class_dispatch_wait_{
+          options_.metrics->GetHistogram(metrics::kIoDispatchWaitPrefetch),
+          options_.metrics->GetHistogram(metrics::kIoDispatchWaitFaultback),
+          options_.metrics->GetHistogram(metrics::kIoDispatchWaitSpill)},
       rate_bytes_per_sec_(static_cast<double>(options_.budget_mib_per_sec) *
                           kMiB),
       burst_bytes_(std::max(kMinBurstBytes, rate_bytes_per_sec_ / 4.0)) {
@@ -89,11 +100,13 @@ IoScheduler::~IoScheduler() { Shutdown(); }
 IoTicketRef IoScheduler::Submit(IoPriority priority, std::size_t bytes,
                                 IoFn work, std::function<void()> on_skip) {
   auto ticket = std::make_shared<IoTicket>();
+  const std::size_t cls = static_cast<std::size_t>(priority);
+  const int64_t submit_micros = Trace::NowMicros();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) return nullptr;
-    queues_[static_cast<std::size_t>(priority)].push_back(
-        Job{ticket, priority, bytes, std::move(work), std::move(on_skip)});
+    queues_[cls].push_back(Job{ticket, priority, bytes, std::move(work),
+                               std::move(on_skip), submit_micros});
     // Inside the lock: a worker Subs under the same lock at pop time, so
     // the gauges can never transiently go negative or miss a peak.
     queue_depth_->Add(1);
@@ -103,6 +116,11 @@ IoTicketRef IoScheduler::Submit(IoPriority priority, std::size_t bytes,
     reads_issued_->Increment();
   } else {
     writes_issued_->Increment();
+  }
+  if (Trace::enabled()) {
+    const TraceArg arg{"bytes", static_cast<int64_t>(bytes)};
+    Trace::RecordInstant("io", kEnqueueName[cls], /*query_id=*/0,
+                         /*signature=*/0, &arg, 1);
   }
   cv_.notify_one();
   return ticket;
@@ -206,7 +224,17 @@ void IoScheduler::WorkerLoop() {
       if (run) bucket.tokens -= static_cast<double>(job.bytes);
       lock.unlock();
       if (run) {
-        Status st = job.work ? job.work() : Status::OK();
+        // Submit→claim latency, by class: the queueing delay this job
+        // actually paid under strict priority + token buckets.
+        const int64_t wait_micros = Trace::NowMicros() - job.submit_micros;
+        class_dispatch_wait_[cls]->Record(wait_micros);
+        Status st;
+        {
+          TraceSpan span("io", kJobSpanName[cls]);
+          span.AddArg("bytes", static_cast<int64_t>(job.bytes));
+          span.AddArg("queue_wait_us", wait_micros);
+          st = job.work ? job.work() : Status::OK();
+        }
         FinishJob(std::move(job), std::move(st));
       } else {
         if (job.on_skip) job.on_skip();

@@ -173,6 +173,9 @@ class IoScheduler {
     std::size_t bytes = 0;
     IoFn work;
     std::function<void()> on_skip;
+    /// Submission timestamp (trace timebase micros): the worker charges
+    /// claim-time minus this to the class's io.dispatch_wait histogram.
+    int64_t submit_micros = 0;
   };
 
   /// One class's byte bucket. Guarded by mutex_. Tokens may go negative
@@ -201,6 +204,10 @@ class IoScheduler {
   /// Per-class views of the two aggregates above, indexed by IoPriority.
   std::array<Gauge*, kIoPriorityClasses> class_queue_depth_;
   std::array<Counter*, kIoPriorityClasses> class_stall_micros_;
+  /// Per-class submit→claim latency (io.dispatch_wait.{prefetch,
+  /// faultback,spill}) — the queueing delay a strict-priority class
+  /// actually experienced, as distinct from token-bucket stalls.
+  std::array<Histogram*, kIoPriorityClasses> class_dispatch_wait_;
 
   const double rate_bytes_per_sec_;
   const double burst_bytes_;

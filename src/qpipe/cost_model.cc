@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace sharing {
 
@@ -175,6 +176,9 @@ void SharingCostModel::PublishConfidenceLocked(double confidence) {
 
 CostDecision SharingCostModel::Decide(uint64_t signature,
                                       const CostModelEnvironment& env) {
+  // The span carries the verdict (mode + rounded cost estimates) as args,
+  // so a trace shows *why* a packet hosted, attached, or ran unshared.
+  TraceSpan span("policy", "policy.decide", /*query_id=*/0, signature);
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = TouchLocked(signature);
   const SignatureStats& stats = entry.stats;
@@ -331,6 +335,11 @@ CostDecision SharingCostModel::Decide(uint64_t signature,
       break;
   }
   PublishConfidenceLocked(decision.confidence);
+
+  span.AddArg("mode", static_cast<int64_t>(chosen));
+  span.AddArg("unshared_us", static_cast<int64_t>(est.unshared_micros));
+  span.AddArg("push_us", static_cast<int64_t>(est.push_micros));
+  span.AddArg("pull_us", static_cast<int64_t>(est.pull_micros));
 
   if (options_.debug) {
     SHARING_LOG(Info) << "cost-model sig=" << signature << " mode="

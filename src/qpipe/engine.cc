@@ -1,18 +1,39 @@
 #include "qpipe/engine.h"
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace sharing {
 
 StatusOr<ResultSet> QueryHandle::Collect() {
   SHARING_CHECK(valid());
+  const uint64_t qid = ctx_->query_id();
+  const uint64_t sig = plan_->Signature();
+  TraceSpan collect_span("engine", "query.collect", qid, sig);
   ResultSet result(schema());
   while (PageRef page = root_->Next()) {
     result.AppendPage(*page);
   }
   Status st = root_->FinalStatus();
   if (!st.ok()) return st;
+  // The query is done: stamp its wall clock, feed the latency
+  // histogram, and attach the finished explain report. The engine-layer
+  // submit->finish span is emitted here as one complete event (span
+  // start = submission) so a ring overwrite can never strand half of a
+  // begin/end pair.
+  ctx_->explain()->MarkFinished();
+  const int64_t total = ctx_->explain()->total_micros();
+  ctx_->metrics()->GetHistogram(metrics::kQueryLatencyMicros)->Record(total);
+  Trace::RecordComplete("engine", "query", ctx_->explain()->start_micros(),
+                        total, qid, sig);
+  result.SetExplain(
+      std::make_shared<const QueryExplain>(ctx_->explain()->Build(qid)));
   return result;
+}
+
+QueryExplain QueryHandle::Explain() const {
+  SHARING_CHECK(valid());
+  return ctx_->explain()->Build(ctx_->query_id());
 }
 
 void QueryHandle::Cancel() {
@@ -24,6 +45,17 @@ void QueryHandle::Cancel() {
 QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
                          MetricsRegistry* metrics)
     : catalog_(catalog), options_(options), metrics_(metrics) {
+  // Tracing is process-wide (rings are per thread, not per engine):
+  // an engine configured with the knob turns it on and leaves it on —
+  // a second engine in the same process shares the recorder.
+  if (options_.trace_enabled) Trace::Enable(options_.trace_buffer_events);
+  if (options_.stats_report_period_ms > 0) {
+    StatsReporter::Options ropts;
+    ropts.metrics = metrics_;
+    ropts.period_ms = options_.stats_report_period_ms;
+    ropts.path = options_.stats_report_path;
+    stats_reporter_ = std::make_unique<StatsReporter>(std::move(ropts));
+  }
   if (options_.io_threads > 0) {
     IoScheduler::Options iopts;
     iopts.threads = options_.io_threads;
@@ -81,6 +113,9 @@ QPipeEngine::~QPipeEngine() {
   // Submit starts returning nullptr, so the remaining members can be
   // destroyed in any order.
   if (io_scheduler_ != nullptr) io_scheduler_->Shutdown();
+  // Last: the reporter's final snapshot then sees every shutdown-path
+  // metric (dropped I/O jobs, final reclamations).
+  if (stats_reporter_ != nullptr) stats_reporter_->Stop();
 }
 
 void QPipeEngine::SetSpModeAllStages(SpMode mode) {
@@ -167,6 +202,8 @@ PageSourceRef QPipeEngine::Dispatch(const PlanNodeRef& node,
 
 QueryHandle QPipeEngine::Submit(PlanNodeRef plan) {
   auto ctx = std::make_shared<ExecContext>(NextQueryId(), metrics_);
+  TraceSpan span("engine", "query.submit", ctx->query_id(),
+                 plan->Signature());
   PageSourceRef root = Dispatch(plan, ctx);
   return QueryHandle(std::move(plan), std::move(root), std::move(ctx));
 }

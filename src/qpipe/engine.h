@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/stats_reporter.h"
 #include "common/status_or.h"
 #include "exec/result.h"
 #include "qpipe/stages.h"
@@ -104,6 +105,23 @@ struct QPipeOptions {
   /// kScanPrefetch class; 0 disables scan prefetch.
   std::size_t scan_prefetch_depth = 4;
 
+  /// Query-lifecycle tracing (see common/trace.h, docs/TRACING.md).
+  /// Enables the process-wide recorder at engine construction; spans
+  /// export as Chrome trace-event JSON via Trace::ExportChromeJson.
+  /// Off: every instrumented path costs one relaxed load.
+  bool trace_enabled = false;
+
+  /// Per-thread trace ring capacity in events (overwrite-oldest).
+  /// Bounded memory: threads * trace_buffer_events * ~176 bytes.
+  std::size_t trace_buffer_events = 8192;
+
+  /// Period of the StatsReporter thread emitting full metrics-registry
+  /// snapshots as JSON lines; 0 = no reporter thread.
+  std::size_t stats_report_period_ms = 0;
+
+  /// StatsReporter sink file (appended); empty = stderr.
+  std::string stats_report_path;
+
   /// Applies `mode` to all four stages.
   static QPipeOptions AllSp(SpMode mode) {
     QPipeOptions o;
@@ -133,6 +151,12 @@ class QueryHandle {
   /// SP satellite only its own consumption stops (the host continues for
   /// other consumers) — paper Fig. 1a.
   void Cancel();
+
+  /// The query's sharing-explain report as of now (admission verdicts,
+  /// roles, page provenance, stage timings). Collect() attaches the
+  /// final report to the ResultSet; this accessor serves streaming
+  /// consumers and cancelled queries.
+  QueryExplain Explain() const;
 
  private:
   PlanNodeRef plan_;
@@ -207,6 +231,7 @@ class QPipeEngine {
 
   std::shared_ptr<IoScheduler> io_scheduler_;
   std::shared_ptr<SpBudgetGovernor> sp_governor_;
+  std::unique_ptr<StatsReporter> stats_reporter_;
   std::unique_ptr<TscanStage> tscan_;
   std::unique_ptr<JoinStage> join_;
   std::unique_ptr<AggStage> agg_;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace sharing {
 
@@ -146,6 +147,7 @@ void SharedPagesList::Close(Status final) {
     MaybeReclaimLocked();
   }
   WakeParkedReaders();
+  TRACE_EVENT("sharing", "spl.close", trace_query_id_, trace_signature_);
 }
 
 void SharedPagesList::SealAttachWindow() {
@@ -175,6 +177,7 @@ std::shared_ptr<SplReader> SharedPagesList::AttachReader() {
   }
   ++ever_attached_;
   active_readers_.fetch_add(1, std::memory_order_acq_rel);
+  TRACE_EVENT("sharing", "spl.attach", trace_query_id_, trace_signature_);
   return reader;
 }
 
@@ -478,6 +481,10 @@ bool SplReader::ParkUntilReady() {
 #endif
   }
   list_->reader_parks_->Increment();
+  // Span covers the futex wait only (the spin above is microseconds and
+  // the common case records nothing).
+  TraceSpan park_span("sharing", "spl.park", list_->trace_query_id_,
+                      list_->trace_signature_);
   // Dekker-style handshake with the producer: the flag (and count) store
   // must be ordered before the predicate re-check, and the producer's
   // predicate store before its flag sweep — both sides seq_cst. Either
@@ -552,6 +559,10 @@ PageRef SplReader::SlowResolve(std::size_t pos) {
     return page;
   }
   SHARING_CHECK(spilled != nullptr) << "slot neither resident nor spilled";
+
+  TraceSpan faultback_span("sharing", "spl.faultback", list_->trace_query_id_,
+                           list_->trace_signature_);
+  faultback_span.AddArg("pos", static_cast<int64_t>(pos));
 
   // Fault-back, outside the list lock. The read is served by the
   // matching readahead when one is in flight; otherwise it goes through

@@ -147,6 +147,14 @@ class SharedPagesList
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  /// Trace correlation ids stamped on this list's park / fault-back /
+  /// attach / close trace records (see common/trace.h). Set once by the
+  /// owning channel before readers exist; 0 = untraced.
+  void SetTraceIdentity(uint64_t query_id, uint64_t signature) {
+    trace_query_id_ = query_id;
+    trace_signature_ = signature;
+  }
+
   /// Pages currently retained (appended minus reclaimed), resident or
   /// spilled.
   std::size_t NumPages() const {
@@ -358,6 +366,11 @@ class SharedPagesList
   std::size_t in_memory_ = 0;
   Status final_;
   std::size_t ever_attached_ = 0;
+
+  /// Trace correlation (SetTraceIdentity): written before concurrency
+  /// starts, read relaxed from reader threads.
+  uint64_t trace_query_id_ = 0;
+  uint64_t trace_signature_ = 0;
 };
 
 /// One consumer's cursor into a SharedPagesList.

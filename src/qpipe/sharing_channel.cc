@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace sharing {
 
@@ -64,6 +65,8 @@ class PushChannel final : public SharingChannel {
     if (host_ == nullptr) host_ = fifo.get();  // first reader = host's own
     readers_.push_back(fifo);
     ++ever_attached_;
+    TRACE_EVENT("sharing", "push.attach", options_.query_id,
+                options_.signature);
     return fifo;
   }
 
@@ -71,6 +74,8 @@ class PushChannel final : public SharingChannel {
     // Dedicated single-page path: unlike PutBatch it allocates nothing
     // beyond the satellite deep copies, so page-at-a-time configurations
     // (sp_read_batch <= 1) keep their pre-batching cost.
+    TraceSpan span("sharing", "push.put", options_.query_id,
+                   options_.signature);
     std::vector<std::shared_ptr<FifoBuffer>> readers;
     const FifoBuffer* host;
     std::size_t produced;
@@ -94,6 +99,8 @@ class PushChannel final : public SharingChannel {
       }
     }
     FinishPut(readers, dead, produced - 1, produced);
+    span.AddArg("pages", 1);
+    span.AddArg("readers", static_cast<int64_t>(readers.size()));
     return any;
   }
 
@@ -102,6 +109,8 @@ class PushChannel final : public SharingChannel {
       std::lock_guard<std::mutex> lock(mutex_);
       return !closed_;
     }
+    TraceSpan span("sharing", "push.put", options_.query_id,
+                   options_.signature);
     std::vector<std::shared_ptr<FifoBuffer>> readers;
     const FifoBuffer* host;
     std::size_t produced;
@@ -136,6 +145,8 @@ class PushChannel final : public SharingChannel {
       }
     }
     FinishPut(readers, dead, prev_produced, produced);
+    span.AddArg("pages", static_cast<int64_t>(produced - prev_produced));
+    span.AddArg("readers", static_cast<int64_t>(readers.size()));
     return any;
   }
 
@@ -255,7 +266,11 @@ class PullChannel final : public SharingChannel {
  public:
   explicit PullChannel(SharingChannelOptions options)
       : options_(std::move(options)),
-        spl_(SharedPagesList::Create(options_.metrics, options_.governor)) {}
+        spl_(SharedPagesList::Create(options_.metrics, options_.governor)) {
+    // The SPL emits its own park/fault-back/attach trace records; give it
+    // the session's correlation ids so they land under the host query.
+    spl_->SetTraceIdentity(options_.query_id, options_.signature);
+  }
 
   PageSourceRef AttachReader() override {
     if (options_.on_attach_cost == nullptr) return spl_->AttachReader();
@@ -268,6 +283,9 @@ class PullChannel final : public SharingChannel {
   }
 
   bool Put(PageRef page) override {
+    TraceSpan span("sharing", "pull.put", options_.query_id,
+                   options_.signature);
+    span.AddArg("pages", 1);
     std::size_t produced = spl_->Append(std::move(page));
     if (produced == 0) return false;
     SampleLag(produced - 1, produced);
@@ -277,6 +295,9 @@ class PullChannel final : public SharingChannel {
   bool PutBatch(std::vector<PageRef> pages) override {
     if (pages.empty()) return !spl_->closed();
     const std::size_t count = pages.size();
+    TraceSpan span("sharing", "pull.put", options_.query_id,
+                   options_.signature);
+    span.AddArg("pages", static_cast<int64_t>(count));
     std::size_t produced = spl_->AppendBatch(std::move(pages));
     if (produced == 0) return false;
     SampleLag(produced - count, produced);

@@ -75,6 +75,13 @@ struct SharingChannelOptions {
 
   MetricsRegistry* metrics = &MetricsRegistry::Global();
 
+  /// Trace correlation (common/trace.h): the host query's id and the
+  /// session signature, stamped on the channel's put spans and attach
+  /// instants so a Chrome-trace viewer can tie transport activity back
+  /// to the query that hosted the session. 0 = not traced/unknown.
+  uint64_t query_id = 0;
+  uint64_t signature = 0;
+
   /// Engine-wide SP memory governor (pull channels only). When set and
   /// enabled, the channel's SPL spills retained pages to the governor's
   /// temp store whenever the engine-wide in-memory SP page count exceeds

@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
+#include "exec/explain.h"
 #include "qpipe/batch_pipe.h"
 
 namespace sharing {
@@ -26,6 +28,9 @@ Stage::Stage(std::string name, Options options, MetricsRegistry* metrics)
       options_(options),
       metrics_(metrics),
       sp_opportunities_(metrics->GetCounter(metrics::kSpOpportunities)),
+      run_packet_hist_(
+          metrics->GetHistogram(metrics::kStageRunPacketMicros)),
+      trace_name_(Trace::InternString("run_packet:" + name_)),
       cost_model_(
           std::make_unique<SharingCostModel>(options.cost_model, metrics)),
       pool_(options.initial_workers, options.max_workers) {}
@@ -87,13 +92,13 @@ int64_t Stage::RecordSubmissionLocked(uint64_t sig) {
   return gap;
 }
 
-SpMode Stage::ChooseAdaptiveMode(uint64_t sig,
-                                 int64_t submissions_since_last_seen) {
+Stage::AdmissionChoice Stage::ChooseAdaptiveMode(
+    uint64_t sig, int64_t submissions_since_last_seen) {
   const AdaptiveSpPolicy& policy = options_.adaptive;
   if (submissions_since_last_seen > policy.popularity_window) {
     adaptive_off_.fetch_add(1, std::memory_order_relaxed);
     adaptive_off_cold_.fetch_add(1, std::memory_order_relaxed);
-    return SpMode::kOff;
+    return AdmissionChoice{SpMode::kOff, "cold", false, 0};
   }
   // Hot signature: ask its cost model. With enough history the decision
   // is per-signature — a cheap template and an expensive one on the same
@@ -106,25 +111,30 @@ SpMode Stage::ChooseAdaptiveMode(uint64_t sig,
   }
   const CostDecision decision = cost_model_->Decide(sig, env);
   if (decision.from_model) {
+    AdmissionChoice choice{decision.mode, "model", false,
+                           decision.confidence};
     switch (decision.mode) {
       case SpMode::kOff:
         adaptive_off_.fetch_add(1, std::memory_order_relaxed);
-        return SpMode::kOff;
+        break;
       case SpMode::kPush:
         adaptive_push_.fetch_add(1, std::memory_order_relaxed);
-        return SpMode::kPush;
+        break;
       default:
+        choice.mode = SpMode::kPull;
+        choice.spill_preferred = decision.spill_preferred;
         adaptive_pull_.fetch_add(1, std::memory_order_relaxed);
         if (decision.spill_preferred) {
           adaptive_pull_spill_.fetch_add(1, std::memory_order_relaxed);
         }
-        return SpMode::kPull;
+        break;
     }
+    return choice;
   }
   return ChooseFallbackMode();
 }
 
-SpMode Stage::ChooseFallbackMode() {
+Stage::AdmissionChoice Stage::ChooseFallbackMode() {
   const AdaptiveSpPolicy& policy = options_.adaptive;
   const int64_t sessions = sp_sessions_closed_.load(std::memory_order_relaxed);
   // No session history yet: host with pull, the transport that keeps the
@@ -175,10 +185,10 @@ SpMode Stage::ChooseFallbackMode() {
   if (pull) {
     adaptive_pull_.fetch_add(1, std::memory_order_relaxed);
     if (spill_pull) adaptive_pull_spill_.fetch_add(1, std::memory_order_relaxed);
-    return SpMode::kPull;
+    return AdmissionChoice{SpMode::kPull, "fallback", spill_pull, 0};
   }
   adaptive_push_.fetch_add(1, std::memory_order_relaxed);
-  return SpMode::kPush;
+  return AdmissionChoice{SpMode::kPush, "fallback", false, 0};
 }
 
 void Stage::RecordSessionClose(uint64_t sig,
@@ -248,9 +258,21 @@ PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
     }
     auto it = channels_.find(sig);
     if (it != channels_.end()) {
+      const SpMode host_mode = it->second->mode();
       if (PageSourceRef reader = it->second->AttachReader()) {
         sp_hits_.fetch_add(1, std::memory_order_relaxed);
         sp_opportunities_->Increment();
+        // The free win: this query executes nothing at this stage. Its
+        // explain record points at the satellite reader, whose delivered
+        // pages all count as served-by-the-host.
+        ExplainState::PendingStage rec;
+        rec.stage = name_;
+        rec.signature = sig;
+        rec.role = QueryExplain::StageRecord::Role::kSatellite;
+        rec.transport = host_mode == SpMode::kPush ? "push" : "pull";
+        rec.decided_by = "attach";
+        rec.source = reader;
+        ctx->explain()->AddStage(std::move(rec));
         return reader;
       }
       // Attach window closed (push host already emitting, or the host
@@ -259,28 +281,44 @@ PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
     }
   }
 
-  SpMode mode = configured;
-  if (configured == SpMode::kAdaptive) mode = ChooseAdaptiveMode(sig, gap);
+  AdmissionChoice choice{configured, "static", false, 0};
+  if (configured == SpMode::kAdaptive) choice = ChooseAdaptiveMode(sig, gap);
   return SubmitFresh(std::move(node), std::move(ctx), make_inputs, prepare,
-                     mode, configured == SpMode::kAdaptive);
+                     choice, configured == SpMode::kAdaptive);
 }
 
 PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
                                  const MakeInputsFn& make_inputs,
-                                 const PreparePacketFn& prepare, SpMode mode,
+                                 const PreparePacketFn& prepare,
+                                 const AdmissionChoice& choice,
                                  bool record_work) {
-  if (mode == SpMode::kOff) {
+  const uint64_t sig = node->Signature();
+  ExplainState::PendingStage rec;
+  rec.stage = name_;
+  rec.signature = sig;
+  rec.decided_by = choice.decided_by;
+  rec.spill_preferred = choice.spill_preferred;
+  rec.confidence = choice.confidence;
+
+  if (choice.mode == SpMode::kOff) {
     auto fifo = std::make_shared<FifoBuffer>(options_.fifo_capacity);
+    rec.role = QueryExplain::StageRecord::Role::kUnshared;
+    rec.source = fifo;
+    const std::size_t explain_index = ctx->explain()->AddStage(std::move(rec));
     Enqueue(std::move(node), std::move(ctx), fifo, make_inputs, prepare,
-            record_work);
+            record_work, explain_index);
     return fifo;
   }
 
-  const uint64_t sig = node->Signature();
   SharingChannelOptions copts;
   copts.fifo_capacity = options_.fifo_capacity;
   copts.metrics = metrics_;
   copts.governor = options_.governor;
+  // Trace correlation: the channel's spans carry the *host's* query id
+  // (the query whose packet produces the shared pages) and the session
+  // signature every satellite shares.
+  copts.query_id = ctx->query_id();
+  copts.signature = sig;
   // Online transport-cost feed: the channel samples its own copy/attach
   // wall time and the model's EWMA replaces the fixed constants (the
   // cost model outlives every channel — Stage owns both).
@@ -303,22 +341,27 @@ PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
     }
   };
 
-  SharingChannelRef channel = MakeSharingChannel(mode, std::move(copts));
+  SharingChannelRef channel = MakeSharingChannel(choice.mode, std::move(copts));
   *self_slot = channel;
   PageSourceRef host_reader = channel->AttachReader();
   SHARING_CHECK(host_reader != nullptr);
+  rec.role = QueryExplain::StageRecord::Role::kHost;
+  rec.transport = choice.mode == SpMode::kPush ? "push" : "pull";
+  rec.source = host_reader;
+  const std::size_t explain_index = ctx->explain()->AddStage(std::move(rec));
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     channels_[sig] = channel;
   }
   Enqueue(std::move(node), std::move(ctx), channel, make_inputs, prepare,
-          record_work);
+          record_work, explain_index);
   return host_reader;
 }
 
 void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
                     const MakeInputsFn& make_inputs,
-                    const PreparePacketFn& prepare, bool record_work) {
+                    const PreparePacketFn& prepare, bool record_work,
+                    std::size_t explain_index) {
   auto packet = std::make_shared<Packet>();
   packet->node = std::move(node);
   packet->ctx = std::move(ctx);
@@ -339,20 +382,25 @@ void Stage::Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
   }
 
   packets_executed_.fetch_add(1, std::memory_order_relaxed);
-  // Observed packet wall time — the W of the signature's cost model.
-  // Wall (not CPU) deliberately: a packet convoyed on output
-  // backpressure is exactly the work a satellite is spared. Captured at
-  // submission (`record_work` = stage was adaptive): a static stage must
-  // not pay a per-packet lock + ring push to grow history nothing reads.
-  bool ok = pool_.Submit([this, packet, record_work] {
-    if (!record_work) {
-      RunPacket(*packet);
-      return;
-    }
+  // Every packet run is wall-timed (two clock reads): the time feeds the
+  // stage.run_packet histogram, the query's explain record, and — only
+  // when `record_work` (the stage was adaptive at submission; the model
+  // feed costs a mutex + ring push a static stage must not pay) — the
+  // signature's cost-model history. Wall (not CPU) deliberately: a
+  // packet convoyed on output backpressure is exactly the work a
+  // satellite is spared.
+  bool ok = pool_.Submit([this, packet, record_work, explain_index] {
+    TraceSpan span("stage", trace_name_, packet->ctx->query_id(),
+                   packet->node->Signature());
     Stopwatch watch;
     RunPacket(*packet);
-    cost_model_->RecordExecution(packet->node->Signature(),
-                                 static_cast<double>(watch.ElapsedMicros()));
+    const int64_t elapsed = watch.ElapsedMicros();
+    run_packet_hist_->Record(elapsed);
+    packet->ctx->explain()->AddRunMicros(explain_index, elapsed);
+    if (record_work) {
+      cost_model_->RecordExecution(packet->node->Signature(),
+                                   static_cast<double>(elapsed));
+    }
   });
   if (!ok) {
     for (const auto& input : packet->inputs) input->CancelConsumer();

@@ -202,16 +202,29 @@ class Stage {
   virtual void RunPacket(Packet& packet) = 0;
 
  private:
+  /// A fresh packet's admission outcome plus the provenance the
+  /// sharing-explain report records (who decided, with what confidence).
+  /// `decided_by` values mirror QueryExplain::StageRecord::decided_by.
+  struct AdmissionChoice {
+    SpMode mode = SpMode::kOff;
+    const char* decided_by = "static";
+    bool spill_preferred = false;
+    double confidence = 0;
+  };
+
   /// `record_work` = the stage was configured adaptive at submission:
   /// the packet's wall time feeds the signature's cost-model history.
   PageSourceRef SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
                             const MakeInputsFn& make_inputs,
-                            const PreparePacketFn& prepare, SpMode mode,
-                            bool record_work);
+                            const PreparePacketFn& prepare,
+                            const AdmissionChoice& choice, bool record_work);
 
+  /// `explain_index` = the query's explain record charged with this
+  /// packet's RunPacket wall time.
   void Enqueue(PlanNodeRef node, ExecContextRef ctx, PageSinkRef output,
                const MakeInputsFn& make_inputs,
-               const PreparePacketFn& prepare, bool record_work);
+               const PreparePacketFn& prepare, bool record_work,
+               std::size_t explain_index);
 
   /// Records a submission of `sig` and returns how many stage submissions
   /// happened since it was last seen (INT64_MAX for the first sighting).
@@ -221,11 +234,12 @@ class Stage {
   /// The adaptive per-packet decision for a fresh (non-attaching) packet:
   /// popularity gate, then the signature's cost model, then the
   /// stage-wide threshold fallback while history is thin.
-  SpMode ChooseAdaptiveMode(uint64_t sig, int64_t submissions_since_last_seen);
+  AdmissionChoice ChooseAdaptiveMode(uint64_t sig,
+                                     int64_t submissions_since_last_seen);
 
   /// The stage-wide threshold heuristic — the fallback while a
   /// signature's history is below cost_model.min_samples.
-  SpMode ChooseFallbackMode();
+  AdmissionChoice ChooseFallbackMode();
 
   /// Folds a closed channel's stats into the adaptive history (stage-wide
   /// means and the signature's ring buffer).
@@ -236,6 +250,10 @@ class Stage {
   Options options_;
   MetricsRegistry* metrics_;
   Counter* sp_opportunities_;
+  Histogram* run_packet_hist_;
+  /// Interned "run_packet:<stage>" — the stage's RunPacket span name
+  /// (trace event names must outlive every ring slot).
+  const char* trace_name_;
 
   std::atomic<int64_t> packets_submitted_{0};
   std::atomic<int64_t> packets_executed_{0};

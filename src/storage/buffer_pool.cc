@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace sharing {
 
@@ -162,7 +163,14 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
     Frame& f = frames_[victim];
 
     lock.unlock();
-    Status st = disk_->ReadPage(id, f.data.get());
+    Status st;
+    {
+      // The stall a query thread actually pays for a cold page — the
+      // disk read only, not the frame bookkeeping around it.
+      TraceSpan span("storage", "bufferpool.miss_stall");
+      span.AddArg("page_id", static_cast<int64_t>(id));
+      st = disk_->ReadPage(id, f.data.get());
+    }
     lock.lock();
     if (!st.ok()) {
       f.state = FrameState::kFree;

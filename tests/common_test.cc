@@ -13,6 +13,7 @@
 #include "common/elastic_pool.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/stats_reporter.h"
 #include "common/status.h"
 #include "common/status_or.h"
 #include "common/stopwatch.h"
@@ -273,6 +274,107 @@ TEST(MetricsTest, ConcurrentIncrements) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(c->Get(), 40000);
+}
+
+TEST(HistogramTest, EmptyReportsZero) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(h->TotalCount(), 0);
+  EXPECT_EQ(h->RecordedMin(), 0);
+  EXPECT_EQ(h->RecordedMax(), 0);
+  EXPECT_EQ(h->ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, QuantileClampedAtBucketBoundary) {
+  // A single recording of exactly a power of two: the bucket's geometric
+  // middle (1.5 * 2^b) used to overshoot the only value ever recorded.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(1024);
+  EXPECT_EQ(h->RecordedMin(), 1024);
+  EXPECT_EQ(h->RecordedMax(), 1024);
+  EXPECT_EQ(h->ValueAtQuantile(0.5), 1024);
+  EXPECT_EQ(h->ValueAtQuantile(0.99), 1024);
+}
+
+TEST(HistogramTest, NegativeRecordingsStayInRange) {
+  // Negatives land in bucket 0 (log bucketing has nowhere else for
+  // them); the quantile estimate must not invent a positive value.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(-5);
+  h->Record(0);
+  EXPECT_EQ(h->TotalCount(), 2);
+  EXPECT_EQ(h->RecordedMin(), -5);
+  EXPECT_EQ(h->RecordedMax(), 0);
+  EXPECT_LE(h->ValueAtQuantile(0.5), 0);
+  EXPECT_GE(h->ValueAtQuantile(0.5), -5);
+}
+
+TEST(HistogramTest, QuantilesOrderedAndBounded) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  for (int i = 1; i <= 1000; ++i) h->Record(i);
+  const int64_t p50 = h->ValueAtQuantile(0.50);
+  const int64_t p95 = h->ValueAtQuantile(0.95);
+  const int64_t p99 = h->ValueAtQuantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1);
+  EXPECT_LE(p99, 1000);
+}
+
+TEST(MetricsTest, SnapshotIncludesHistogramViews) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(100);
+  h->Record(200);
+  auto snap = registry.Snapshot();
+  EXPECT_EQ(snap["lat.count"], 2);
+  ASSERT_TRUE(snap.count("lat.p50"));
+  ASSERT_TRUE(snap.count("lat.p95"));
+  ASSERT_TRUE(snap.count("lat.p99"));
+  EXPECT_GE(snap["lat.p50"], 100);
+  EXPECT_LE(snap["lat.p99"], 200);
+  EXPECT_GE(snap["lat.p99"], snap["lat.p50"]);
+}
+
+TEST(StatsReporterTest, EmitsSelfContainedJsonLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(4);
+  registry.GetHistogram("lat")->Record(64);
+  std::mutex mu;
+  std::vector<std::string> lines;
+  StatsReporter::Options opts;
+  opts.metrics = &registry;
+  opts.period_ms = 0;  // final snapshot only — no timer flakiness
+  opts.sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  StatsReporter reporter(std::move(opts));
+  reporter.EmitNow();
+  reporter.Stop();  // emits the final snapshot
+  EXPECT_EQ(reporter.lines_emitted(), 2);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_NE(line.find("\"uptime_ms\":"), std::string::npos);
+    EXPECT_NE(line.find("\"c\":4"), std::string::npos);
+    EXPECT_NE(line.find("\"lat.count\":1"), std::string::npos);
+  }
+}
+
+TEST(StatsReporterTest, StopIsIdempotent) {
+  MetricsRegistry registry;
+  int count = 0;
+  StatsReporter::Options opts;
+  opts.metrics = &registry;
+  opts.period_ms = 0;
+  opts.sink = [&](const std::string&) { ++count; };
+  StatsReporter reporter(std::move(opts));
+  reporter.Stop();
+  reporter.Stop();  // second call must not emit a duplicate final line
+  EXPECT_EQ(count, 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,233 @@
+// trace_check: structural validator for the engine's Chrome trace-event
+// export, used by ci/check_trace.sh against the trace_smoke run.
+//
+//   ./trace_check <trace.json>
+//
+// Checks, in order:
+//   1. Well-formedness: the file is one {"traceEvents":[...]} object with
+//      balanced braces/brackets outside string literals.
+//   2. Every event carries the mandatory Chrome fields (name, cat, ph,
+//      pid, tid, ts) and a legal phase ("X" with dur, or "i").
+//   3. Timestamps are non-decreasing per tid in file order (the exporter
+//      contract: stable-sorted by (tid, ts)).
+//   4. Layer coverage: at least one span from each instrumented layer —
+//      engine (query lifecycle), stage (RunPacket), sharing channel
+//      (push/pull puts), SPL (spl.*), and the IoScheduler.
+//   5. Correlation: some query id > 0 appears in the engine, stage, AND
+//      sharing layers — the id threads the whole lifecycle together.
+//
+// Exits 0 and prints a one-line summary on success; prints the first
+// failure and exits 1 otherwise. No third-party JSON dependency: the
+// parser is scoped to the exporter's documented output shape.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Event {
+  std::string cat;
+  std::string name;
+  std::string ph;
+  uint64_t tid = 0;
+  int64_t ts = 0;
+  bool has_pid = false;
+  bool has_dur = false;
+  uint64_t query_id = 0;
+};
+
+[[noreturn]] void Fail(const std::string& why) {
+  std::fprintf(stderr, "trace_check: FAIL: %s\n", why.c_str());
+  std::exit(1);
+}
+
+/// The quoted string value following `"key":"` inside `obj`, or empty.
+std::string StringField(const std::string& obj, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  std::string out;
+  for (std::size_t i = start; i < obj.size(); ++i) {
+    if (obj[i] == '\\') {
+      ++i;
+      if (i < obj.size()) out.push_back(obj[i]);
+      continue;
+    }
+    if (obj[i] == '"') return out;
+    out.push_back(obj[i]);
+  }
+  Fail("unterminated string for key '" + std::string(key) + "'");
+}
+
+/// The integer value following `"key":` inside `obj`; `found` reports
+/// presence.
+int64_t IntField(const std::string& obj, const char* key, bool* found) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) {
+    *found = false;
+    return 0;
+  }
+  *found = true;
+  return std::strtoll(obj.c_str() + at + needle.size(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) Fail(std::string("cannot open ") + argv[1]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  if (json.rfind("{\"traceEvents\":[", 0) != 0) {
+    Fail("file does not start with {\"traceEvents\":[");
+  }
+
+  // One pass: balance check outside strings + slicing out each event
+  // object (the depth-3 {...} children of the traceEvents array).
+  std::vector<Event> events;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t event_start = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        if (c == '{' && depth == 3) event_start = i;
+        break;
+      case '}':
+      case ']':
+        if (depth == 0) Fail("unbalanced close bracket");
+        if (c == '}' && depth == 3) {
+          const std::string obj = json.substr(event_start, i - event_start + 1);
+          Event ev;
+          ev.cat = StringField(obj, "cat");
+          ev.name = StringField(obj, "name");
+          ev.ph = StringField(obj, "ph");
+          bool has_tid = false, has_ts = false, has_dur = false,
+               has_pid = false, has_qid = false;
+          ev.tid = static_cast<uint64_t>(IntField(obj, "tid", &has_tid));
+          ev.ts = IntField(obj, "ts", &has_ts);
+          (void)IntField(obj, "dur", &has_dur);
+          (void)IntField(obj, "pid", &has_pid);
+          ev.query_id =
+              static_cast<uint64_t>(IntField(obj, "query_id", &has_qid));
+          ev.has_dur = has_dur;
+          ev.has_pid = has_pid;
+          if (ev.name.empty()) Fail("event missing name: " + obj);
+          if (ev.cat.empty()) Fail("event missing cat: " + obj);
+          if (!has_pid) Fail("event missing pid: " + obj);
+          if (!has_tid) Fail("event missing tid: " + obj);
+          if (!has_ts) Fail("event missing ts: " + obj);
+          if (ev.ph == "X") {
+            if (!has_dur) Fail("complete event missing dur: " + obj);
+          } else if (ev.ph != "i") {
+            Fail("unexpected phase '" + ev.ph + "': " + obj);
+          }
+          events.push_back(std::move(ev));
+        }
+        --depth;
+        break;
+      default:
+        break;
+    }
+  }
+  if (in_string) Fail("unterminated string literal");
+  if (depth != 0) Fail("unbalanced braces at end of file");
+  if (events.empty()) Fail("trace contains no events");
+
+  // Exporter contract: events arrive stable-sorted by (tid, ts).
+  std::map<uint64_t, int64_t> last_ts;
+  for (const Event& ev : events) {
+    auto it = last_ts.find(ev.tid);
+    if (it != last_ts.end() && ev.ts < it->second) {
+      Fail("timestamps regress for tid " + std::to_string(ev.tid) + ": " +
+           std::to_string(ev.ts) + " after " + std::to_string(it->second));
+    }
+    last_ts[ev.tid] = ev.ts;
+  }
+
+  // Layer coverage + query-id correlation across layers.
+  const struct {
+    const char* label;
+    bool (*match)(const Event&);
+  } layers[] = {
+      {"engine", [](const Event& e) { return e.cat == "engine"; }},
+      {"stage", [](const Event& e) { return e.cat == "stage"; }},
+      {"sharing-channel",
+       [](const Event& e) {
+         return e.cat == "sharing" && (e.name.rfind("push.", 0) == 0 ||
+                                       e.name.rfind("pull.", 0) == 0);
+       }},
+      {"spl",
+       [](const Event& e) {
+         return e.cat == "sharing" && e.name.rfind("spl.", 0) == 0;
+       }},
+      {"io", [](const Event& e) { return e.cat == "io"; }},
+  };
+  for (const auto& layer : layers) {
+    bool seen = false;
+    for (const Event& ev : events) {
+      if (layer.match(ev)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) Fail(std::string("no events from layer '") + layer.label + "'");
+  }
+
+  std::set<uint64_t> engine_ids, stage_ids, sharing_ids;
+  for (const Event& ev : events) {
+    if (ev.query_id == 0) continue;
+    if (ev.cat == "engine") engine_ids.insert(ev.query_id);
+    if (ev.cat == "stage") stage_ids.insert(ev.query_id);
+    if (ev.cat == "sharing") sharing_ids.insert(ev.query_id);
+  }
+  bool correlated = false;
+  for (uint64_t id : engine_ids) {
+    if (stage_ids.count(id) && sharing_ids.count(id)) {
+      correlated = true;
+      break;
+    }
+  }
+  if (!correlated) {
+    Fail("no query id spans the engine, stage, and sharing layers");
+  }
+
+  std::printf(
+      "trace_check: OK: %zu events, %zu threads, all 5 layers present, "
+      "%zu correlated quer%s\n",
+      events.size(), last_ts.size(), engine_ids.size(),
+      engine_ids.size() == 1 ? "y" : "ies");
+  return 0;
+}
