@@ -43,7 +43,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/metrics_format.h"
 #include "qpipe/sharing_channel.h"
+#include "server/admin_server.h"
 
 using namespace sharing;
 using namespace sharing::bench;
@@ -101,11 +103,43 @@ struct CellResult {
 /// engine-sized batches while `readers` consumer threads drain
 /// concurrently (each touching every page — the broadcast the SPL
 /// exists for). Wall is start-to-last-drain.
-CellResult RunCell(std::size_t pages, std::size_t readers, bool spill) {
+CellResult RunCell(std::size_t pages, std::size_t readers, bool spill,
+                   bool scrape = false) {
   MetricsRegistry metrics;
   std::shared_ptr<IoScheduler> scheduler;
   SharingChannelOptions options;
   options.metrics = &metrics;
+
+  // Scrape variant (the admin-server perturbation gate): a live admin
+  // server exports this cell's registry as Prometheus text while a
+  // client polls it at 10 Hz — the acceptance bound says the sharing
+  // hot path must not feel it (scrape handlers snapshot under the
+  // registry mutex, never under SPL latches).
+  std::unique_ptr<AdminServer> admin;
+  std::thread scraper;
+  std::atomic<bool> scrape_stop{false};
+  if (scrape) {
+    AdminServer::Options aopts;
+    aopts.port = 0;
+    admin = std::make_unique<AdminServer>(aopts);
+    MetricsRegistry* registry = &metrics;
+    admin->Handle("/metrics", [registry](const HttpRequest&) {
+      return HttpResponse::Text(
+          MetricsPrometheusText(registry->SnapshotTyped()));
+    });
+    if (!admin->Start().ok()) {
+      std::fprintf(stderr, "admin server failed to start for scrape cell\n");
+      std::exit(1);
+    }
+    const int port = admin->port();
+    scraper = std::thread([port, &scrape_stop] {
+      while (!scrape_stop.load(std::memory_order_acquire)) {
+        auto r = AdminHttpGet(port, "/metrics");
+        if (!r.ok()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
   if (spill) {
     IoScheduler::Options iopts;
     iopts.threads = 2;
@@ -177,6 +211,11 @@ CellResult RunCell(std::size_t pages, std::size_t readers, bool spill) {
   producer.join();
   for (auto& t : consumers) t.join();
   const int64_t wall_ns = NowNanos() - wall_start;
+  if (scrape) {
+    scrape_stop.store(true, std::memory_order_release);
+    scraper.join();
+    admin->Stop();
+  }
   if (scheduler != nullptr) scheduler->Shutdown();
 
   result.ok = !failed.load();
@@ -287,6 +326,37 @@ int main() {
       }
     }
   }
+  // Admin-server perturbation gate: the 16-reader resident cell with a
+  // live /metrics endpoint scraped at 10 Hz must hold >= 95% of the
+  // server-off aggregate (best of 3 each — the cells are wall-clock
+  // measurements and CI hosts are noisy).
+  double scrape_off_aggregate = 0;
+  double scrape_on_aggregate = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    CellResult off = RunCell(pages, 16, /*spill=*/false, /*scrape=*/false);
+    CellResult on = RunCell(pages, 16, /*spill=*/false, /*scrape=*/true);
+    all_ok = all_ok && off.ok && on.ok;
+    scrape_off_aggregate =
+        std::max(scrape_off_aggregate, off.aggregate_pages_per_sec);
+    scrape_on_aggregate =
+        std::max(scrape_on_aggregate, on.aggregate_pages_per_sec);
+  }
+  const double scrape_ratio = scrape_off_aggregate > 0
+                                  ? scrape_on_aggregate / scrape_off_aggregate
+                                  : 0;
+  std::printf(
+      "\nadmin scrape delta (16 readers, resident, 10 Hz /metrics): "
+      "off=%.0f p/s, on=%.0f p/s, ratio=%.3f (gate: >= 0.95)\n",
+      scrape_off_aggregate, scrape_on_aggregate, scrape_ratio);
+  if (json != nullptr) {
+    std::fprintf(json,
+                 ",\n  {\"config\": \"scrape_gate\", \"readers\": 16, "
+                 "\"scrape_off_pages_per_sec\": %.0f, "
+                 "\"scrape_on_pages_per_sec\": %.0f, "
+                 "\"admin_scrape_ratio\": %.4f}",
+                 scrape_off_aggregate, scrape_on_aggregate, scrape_ratio);
+  }
+
   if (json != nullptr) {
     JsonMetricsRow(json, &first, last_snap);
     std::fprintf(json, "\n]\n");
@@ -321,6 +391,12 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: producer append p99 degraded more than 2x at 32 "
                  "readers\n");
+    return 1;
+  }
+  if (scrape_ratio < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: a 10 Hz /metrics scrape cost the 16-reader cell "
+                 "more than 5%% aggregate throughput\n");
     return 1;
   }
   std::printf(

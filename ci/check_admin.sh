@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Admin-server check: boot the smoke workload (examples/admin_smoke.cpp
+# — the traced pull-model host+satellite over disk-resident TPC-H Q1)
+# with the embedded admin server on an ephemeral loopback port, fetch
+# every endpoint over real HTTP, and validate the bodies:
+#   /metrics     -> tools/prom_check (Prometheus 0.0.4 grammar: every
+#                   name sanitized, every sample typed and numeric)
+#   /trace       -> tools/trace_check (well-formed Chrome JSON, spans
+#                   monotonic per tid, all instrumented layers present)
+#   /channels, /queries, /explain, /cost_model, /healthz -> grep needles
+# The smoke binary itself asserts the deep endpoints were fetched while
+# queries were in flight and that the error paths 400/404 correctly.
+#
+# Usage: ci/check_admin.sh [build_dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target admin_smoke prom_check trace_check
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+"./$BUILD_DIR/admin_smoke" "$OUT_DIR"
+
+"./$BUILD_DIR/prom_check" "$OUT_DIR/metrics.txt"
+"./$BUILD_DIR/trace_check" "$OUT_DIR/trace.json"
+
+check_needles() {
+  local file="$1"; shift
+  for needle in "$@"; do
+    if ! grep -qF "$needle" "$OUT_DIR/$file"; then
+      echo "check_admin: FAIL: $file missing $needle" >&2
+      exit 1
+    fi
+  done
+}
+
+# The live-session dump: channel identity, per-reader cursors, SPL
+# residency — scraped while the host+satellite session was in flight.
+check_needles channels.json '"signature":' '"mode":' '"readers":' \
+  '"position":' '"lag":' '"resident_pages":'
+# In-flight queries with age and stage attribution.
+check_needles queries.json '"query_id":' '"age_micros":' '"stage":'
+# The explain body for the host query.
+check_needles explain.json '"query_id":' '"stages":'
+# Per-stage cost model dump (the adaptive policy's inputs).
+check_needles cost_model.json '"stage":' '"signatures":'
+# Watchdog health verdict.
+check_needles healthz.json '"healthy":true' '"ticks":'
+# JSON metrics mirror must carry the same snapshot the text form does.
+check_needles metrics.json '"uptime_ms":' '"metrics":{'
+
+echo "check_admin: OK"

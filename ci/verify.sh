@@ -29,6 +29,13 @@ echo "=== trace pipeline: traced smoke run + export validation ==="
 # sharing-explain dump.
 ci/check_trace.sh build
 
+echo "=== admin server: every endpoint over live HTTP ==="
+# Boots the smoke workload with the embedded admin server on an
+# ephemeral port, fetches every endpoint, and validates /metrics against
+# the Prometheus grammar (tools/prom_check) and /trace with
+# tools/trace_check; deep endpoints are scraped mid-flight.
+ci/check_admin.sh build
+
 echo "=== spill ablation (smoke) -> BENCH_spill.json ==="
 # A small sweep so every verify run records spill-regime numbers; the
 # perf trajectory lives in BENCH_spill.json (budget x slow-reader lag,
@@ -58,6 +65,13 @@ echo "=== contention ablation (smoke) -> BENCH_contention.json ==="
 SHARING_BENCH_SF=0.25 SHARING_BENCH_JSON=BENCH_contention.json \
   ./build/bench_ablation_contention
 
+echo "=== bench trajectory -> BENCH_trajectory.json ==="
+# Folds the sweeps above into the headline numbers a regression diff
+# tracks across PRs (16-reader aggregate, adaptive divergence, drain
+# wall, retained-vs-budget, admin-scrape ratio).
+./build/bench_trajectory BENCH_trajectory.json \
+  BENCH_contention.json BENCH_adaptive.json BENCH_io.json BENCH_spill.json
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "=== tier-1 under AddressSanitizer ==="
   run_suite build-asan -DSHARING_ASAN=ON
@@ -70,7 +84,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake -B build-tsan -S . -DSHARING_TSAN=ON
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'SharingChannelTest|PushChannelTest|PullChannelTest|SpillChannelTest|SplContentionTest|BatchPipeTest|SplTest|FifoBufferTest|AsyncSpillTest|SpillEngineTest|SpBudgetGovernorTest|IoSchedulerTest|CircularScanPrefetchTest|TraceTest'
+    -R 'SharingChannelTest|PushChannelTest|PullChannelTest|SpillChannelTest|SplContentionTest|BatchPipeTest|SplTest|FifoBufferTest|AsyncSpillTest|SpillEngineTest|SpBudgetGovernorTest|IoSchedulerTest|CircularScanPrefetchTest|TraceTest|AdminServerTest|AdminEngineTest|WatchdogTest|MetricsFormatTest'
 fi
 
 echo "verify: OK"

@@ -1,0 +1,170 @@
+// Admin-server smoke run: the trace_smoke workload (disk-resident TPC-H
+// Q1, host + satellite pull session, tiny SP budget) booted with the
+// embedded admin server on an ephemeral port, every endpoint fetched
+// in-process over real loopback HTTP, and each body written to a file
+// for ci/check_admin.sh to validate (tools/prom_check for /metrics,
+// tools/trace_check for /trace, grep needles for the JSON endpoints).
+//
+//   ./admin_smoke [output_dir]
+//
+// /channels and /queries are fetched WHILE the queries are in flight
+// (between Submit and Collect) so the deep endpoints demonstrably show
+// live state, retrying across submissions in case a session drains
+// before the scrape lands.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sharing_engine.h"
+#include "server/admin_server.h"
+#include "server/watchdog.h"
+#include "workload/tpch.h"
+
+using namespace sharing;
+
+namespace {
+
+bool WriteBody(const std::string& dir, const char* name,
+               const std::string& body) {
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Fetches `target` and requires HTTP `want` back.
+bool Fetch(int port, const std::string& target, int want, std::string* body) {
+  auto r = AdminHttpGet(port, target);
+  if (!r.ok()) {
+    std::fprintf(stderr, "GET %s: %s\n", target.c_str(),
+                 r.status().ToString().c_str());
+    return false;
+  }
+  if (r.value().status != want) {
+    std::fprintf(stderr, "GET %s: status %d, want %d\n", target.c_str(),
+                 r.value().status, want);
+    return false;
+  }
+  *body = std::move(r.value().body);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  DatabaseOptions db_options;
+  db_options.buffer_pool_frames = 256;
+  Database db(db_options);
+  db.SetMemoryResident();
+  auto table = tpch::GenerateLineitem(db.catalog(), db.buffer_pool(), 0.02);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  db.SetDiskResident();
+
+  EngineConfig config;
+  config.mode = EngineMode::kSpPull;
+  config.trace_enabled = true;
+  config.trace_buffer_events = 1 << 16;
+  config.sp_memory_budget = 32;
+  config.io_threads = 2;
+  config.admin_port = 0;  // ephemeral loopback port
+  config.watchdog_period_ms = 50;
+  SharingEngine engine(&db, config);
+
+  AdminServer* admin = engine.qpipe()->admin_server();
+  if (admin == nullptr || admin->port() <= 0) {
+    std::fprintf(stderr, "admin server did not start\n");
+    return 1;
+  }
+  const int port = admin->port();
+  std::printf("admin server on 127.0.0.1:%d\n", port);
+
+  // Run host + satellite; scrape the deep endpoints mid-flight. A fast
+  // machine can drain a session before the scrape lands, so retry with
+  // fresh submissions until /channels shows a live session.
+  std::string channels_body, queries_body, explain_body;
+  bool saw_live = false;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    PlanNodeRef plan = tpch::MakeQ1Plan(90);
+    QueryHandle host = engine.Submit(plan);
+    QueryHandle satellite = engine.Submit(plan);
+
+    std::string c, q, e;
+    const uint64_t qid = host.context()->query_id();
+    const bool got =
+        Fetch(port, "/channels", 200, &c) && Fetch(port, "/queries", 200, &q) &&
+        Fetch(port, "/explain?query=" + std::to_string(qid), 200, &e);
+
+    auto host_result = host.Collect();
+    auto sat_result = satellite.Collect();
+    if (!host_result.ok() || !sat_result.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
+    if (host_result.value().CanonicalRows() !=
+        sat_result.value().CanonicalRows()) {
+      std::fprintf(stderr, "host and satellite results differ\n");
+      return 1;
+    }
+    if (got) {
+      channels_body = c;
+      queries_body = q;
+      explain_body = e;
+      if (q.find("\"query_id\"") != std::string::npos) {
+        saw_live = true;
+        break;
+      }
+    }
+  }
+  if (!saw_live) {
+    std::fprintf(stderr, "/queries never showed an in-flight query\n");
+    return 1;
+  }
+
+  // The static endpoints, post-run.
+  std::string metrics_body, metrics_json_body, cost_body, health_body,
+      trace_body, index_body;
+  if (!Fetch(port, "/metrics", 200, &metrics_body) ||
+      !Fetch(port, "/metrics.json", 200, &metrics_json_body) ||
+      !Fetch(port, "/cost_model", 200, &cost_body) ||
+      !Fetch(port, "/healthz", 200, &health_body) ||
+      !Fetch(port, "/trace?ms=600000", 200, &trace_body) ||
+      !Fetch(port, "/", 200, &index_body)) {
+    return 1;
+  }
+
+  // Error paths must be errors.
+  std::string ignored;
+  if (!Fetch(port, "/no_such_endpoint", 404, &ignored) ||
+      !Fetch(port, "/explain", 400, &ignored) ||
+      !Fetch(port, "/explain?query=999999999", 404, &ignored)) {
+    return 1;
+  }
+
+  if (!WriteBody(dir, "metrics.txt", metrics_body) ||
+      !WriteBody(dir, "metrics.json", metrics_json_body) ||
+      !WriteBody(dir, "channels.json", channels_body) ||
+      !WriteBody(dir, "queries.json", queries_body) ||
+      !WriteBody(dir, "explain.json", explain_body) ||
+      !WriteBody(dir, "cost_model.json", cost_body) ||
+      !WriteBody(dir, "healthz.json", health_body) ||
+      !WriteBody(dir, "trace.json", trace_body)) {
+    return 1;
+  }
+
+  std::printf(
+      "admin smoke OK: 8 endpoint bodies -> %s (metrics %zu bytes, trace "
+      "%zu bytes)\n",
+      dir.c_str(), metrics_body.size(), trace_body.size());
+  return 0;
+}

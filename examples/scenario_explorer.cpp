@@ -24,6 +24,7 @@
 
 #include "common/stopwatch.h"
 #include "core/sharing_engine.h"
+#include "server/admin_server.h"
 #include "workload/driver.h"
 #include "workload/ssb.h"
 #include "workload/tpch.h"
@@ -41,6 +42,9 @@ struct Args {
   bool disk = false;
   bool batch = false;
   double seconds = 1.5;
+  /// Embedded admin server port (-1 off, 0 ephemeral — the bound port is
+  /// printed at startup; see docs/ADMIN.md).
+  int admin_port = -1;
 };
 
 Args Parse(int argc, char** argv) {
@@ -60,6 +64,8 @@ Args Parse(int argc, char** argv) {
     else if (a == "--disk") args.disk = true;
     else if (a == "--batch") args.batch = true;
     else if (const char* v = val("--seconds=")) args.seconds = std::atof(v);
+    else if (const char* v = val("--admin-port="))
+      args.admin_port = std::atoi(v);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       std::exit(2);
@@ -87,7 +93,13 @@ std::unique_ptr<Database> MakeDb(const Args& args, bool ssb_data) {
 /// Scenario I: push vs pull SP on identical TPC-H Q1 instances.
 void RunScenario1(const Args& args) {
   auto db = MakeDb(args, /*ssb_data=*/false);
-  SharingEngine engine(db.get(), EngineConfig{});
+  EngineConfig scenario1_config;
+  scenario1_config.admin_port = args.admin_port;
+  SharingEngine engine(db.get(), scenario1_config);
+  if (engine.qpipe()->admin_server() != nullptr) {
+    std::printf("# admin server on 127.0.0.1:%d\n",
+                engine.qpipe()->admin_server()->port());
+  }
   PlanNodeRef q1 = tpch::MakeQ1Plan(90);
 
   std::vector<int> concurrency = {1, 2, 4, 8, 16, 32};
@@ -126,7 +138,12 @@ void RunSsbScenario(const Args& args, const std::vector<double>& xs,
   EngineConfig config;
   config.fact_table = "lineorder";
   config.cjoin_levels = ssb::PipelineLevels();
+  config.admin_port = args.admin_port;
   SharingEngine engine(db.get(), config);
+  if (engine.qpipe()->admin_server() != nullptr) {
+    std::printf("# admin server on 127.0.0.1:%d\n",
+                engine.qpipe()->admin_server()->port());
+  }
 
   std::printf("%-10s %-15s %10s %12s %12s %10s\n", x_name, "mode",
               "qps", "mean(ms)", "admissions", "sp-hits");

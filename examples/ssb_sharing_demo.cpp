@@ -4,20 +4,37 @@
 // global query plan, with and without SP on the CJOIN stage.
 //
 //   ./ssb_sharing_demo [clients] [scale_factor] [num_plan_variants]
+//                      [--admin-port=N]
+//
+// --admin-port=N starts the embedded admin server on 127.0.0.1:N
+// (0 = ephemeral; the bound port is printed) so /metrics, /channels
+// and /queries can be watched live while the windows run.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "core/sharing_engine.h"
+#include "server/admin_server.h"
 #include "workload/driver.h"
 #include "workload/ssb.h"
 
 using namespace sharing;
 
 int main(int argc, char** argv) {
-  std::size_t clients = argc > 1 ? std::atoi(argv[1]) : 8;
-  double sf = argc > 2 ? std::atof(argv[2]) : 0.005;
-  int variants = argc > 3 ? std::atoi(argv[3]) : 4;
+  int admin_port = -1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      admin_port = std::atoi(argv[i] + 13);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  std::size_t clients = positional.size() > 0 ? std::atoi(positional[0]) : 8;
+  double sf = positional.size() > 1 ? std::atof(positional[1]) : 0.005;
+  int variants = positional.size() > 2 ? std::atoi(positional[2]) : 4;
 
   DatabaseOptions db_options;
   db_options.buffer_pool_frames = 65536;
@@ -33,7 +50,12 @@ int main(int argc, char** argv) {
   config.fact_table = "lineorder";
   config.cjoin_levels = ssb::PipelineLevels();
   config.cjoin.max_queries = 64;
+  config.admin_port = admin_port;
   SharingEngine engine(&db, config);
+  if (engine.qpipe()->admin_server() != nullptr) {
+    std::printf("admin server on 127.0.0.1:%d\n",
+                engine.qpipe()->admin_server()->port());
+  }
 
   std::printf(
       "\n%zu clients, %d distinct plan variant(s), 2s windows per mode\n\n",

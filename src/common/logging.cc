@@ -41,6 +41,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       uint64_t query_id)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line
+          << " qid=" << query_id << "] ";
+}
+
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) <
       g_log_level.load(std::memory_order_relaxed)) {

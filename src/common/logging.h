@@ -7,6 +7,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -25,11 +27,60 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Token for periodic emitters (the watchdog's per-condition warnings):
+/// Allow() returns true at most once per `min_interval_ms`, counting
+/// the calls it suppressed in between so the next emitted message can
+/// say how much it is standing in for. Thread-safe, lock-free.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(int64_t min_interval_ms)
+      : min_interval_ms_(min_interval_ms) {}
+
+  /// True when the caller should emit now (and resets the suppressed
+  /// count); false when the message should be dropped.
+  bool Allow() {
+    const int64_t now = NowMs();
+    int64_t last = last_emit_ms_.load(std::memory_order_relaxed);
+    // last == INT64_MIN marks "never emitted": always allow the first.
+    if (last != INT64_MIN && now - last < min_interval_ms_) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!last_emit_ms_.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+      // Another thread won this window's slot.
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    suppressed_.store(0, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Messages dropped since the last emission.
+  int64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static int64_t NowMs() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  const int64_t min_interval_ms_;
+  std::atomic<int64_t> last_emit_ms_{INT64_MIN};
+  std::atomic<int64_t> suppressed_{0};
+};
+
 namespace internal {
 
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  /// Query-scoped variant: the prefix carries `qid=<id>` so a grep for
+  /// one query's lifecycle picks up its warnings too (0 = no query).
+  LogMessage(LogLevel level, const char* file, int line, uint64_t query_id);
   ~LogMessage();
 
   std::ostringstream& stream() { return stream_; }
@@ -60,6 +111,14 @@ struct Voidify {
       .stream()
 
 #define SHARING_LOG(level) SHARING_LOG_INTERNAL(k##level)
+
+/// Query-scoped logging: like SHARING_LOG but stamps `qid=<query_id>`
+/// into the message prefix (the watchdog's per-query warnings use this
+/// so degraded-query reports correlate with traces and explain output).
+#define SHARING_LOG_QID(level, query_id)                                  \
+  ::sharing::internal::LogMessage(::sharing::LogLevel::k##level, __FILE__, \
+                                  __LINE__, (query_id))                    \
+      .stream()
 
 #define SHARING_CHECK(cond)                                                 \
   (cond) ? (void)0                                                          \

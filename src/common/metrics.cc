@@ -97,23 +97,50 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return it->second.get();
 }
 
-MetricsSnapshot MetricsRegistry::Snapshot() const {
+TypedMetricsSnapshot MetricsRegistry::SnapshotTyped() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  MetricsSnapshot snap;
+  TypedMetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
-    snap[name] = counter->Get();
+    snap.counters[name] = counter->Get();
   }
   for (const auto& [name, gauge] : gauges_) {
-    snap[name] = gauge->Get();
-    snap[name + ".hwm"] = gauge->HighWaterMark();
+    snap.gauges[name] = {gauge->Get(), gauge->HighWaterMark()};
   }
   for (const auto& [name, hist] : histograms_) {
-    snap[name + ".count"] = hist->TotalCount();
-    snap[name + ".p50"] = hist->ValueAtQuantile(0.5);
-    snap[name + ".p95"] = hist->ValueAtQuantile(0.95);
-    snap[name + ".p99"] = hist->ValueAtQuantile(0.99);
+    TypedMetricsSnapshot::HistogramValue h;
+    h.count = hist->TotalCount();
+    h.sum = hist->RecordedSum();
+    h.p50 = hist->ValueAtQuantile(0.5);
+    h.p95 = hist->ValueAtQuantile(0.95);
+    h.p99 = hist->ValueAtQuantile(0.99);
+    snap.histograms[name] = h;
   }
   return snap;
+}
+
+MetricsSnapshot FlattenTypedSnapshot(const TypedMetricsSnapshot& typed) {
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : typed.counters) {
+    snap[name] = value;
+  }
+  for (const auto& [name, gauge] : typed.gauges) {
+    snap[name] = gauge.value;
+    snap[name + ".hwm"] = gauge.high_water;
+  }
+  for (const auto& [name, hist] : typed.histograms) {
+    snap[name + ".count"] = hist.count;
+    snap[name + ".p50"] = hist.p50;
+    snap[name + ".p95"] = hist.p95;
+    snap[name + ".p99"] = hist.p99;
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // The flat map is *defined* as the projection of the typed snapshot,
+  // so the JSON-lines exporter (flat) and the Prometheus exporter
+  // (typed) can never disagree about a value.
+  return FlattenTypedSnapshot(SnapshotTyped());
 }
 
 MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& before,

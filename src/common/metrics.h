@@ -77,6 +77,9 @@ class Histogram {
 
   int64_t TotalCount() const;
 
+  /// Sum of every recorded value (the Prometheus summary `_sum` series).
+  int64_t RecordedSum() const { return sum_.load(std::memory_order_relaxed); }
+
   /// Smallest / largest value ever recorded (0 when empty).
   int64_t RecordedMin() const;
   int64_t RecordedMax() const;
@@ -154,6 +157,34 @@ static_assert(sizeof(Gauge) == kMetricCacheLine);
 /// A point-in-time copy of all counters in a registry.
 using MetricsSnapshot = std::map<std::string, int64_t>;
 
+/// A structured point-in-time copy of a registry that preserves metric
+/// *kinds*. The flat MetricsSnapshot above is the lossy projection of
+/// this (see FlattenTypedSnapshot) — exporters that must distinguish a
+/// counter from a gauge from a histogram (the Prometheus text format
+/// does) consume this form instead.
+struct TypedMetricsSnapshot {
+  struct GaugeValue {
+    int64_t value = 0;
+    int64_t high_water = 0;
+  };
+  struct HistogramValue {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t p50 = 0;
+    int64_t p95 = 0;
+    int64_t p99 = 0;
+  };
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramValue> histograms;
+};
+
+/// Projects a typed snapshot onto the flat name->value map: every gauge
+/// contributes `name` + `name.hwm`, every histogram `name.count` /
+/// `.p50` / `.p95` / `.p99`. MetricsRegistry::Snapshot() is defined as
+/// this projection of SnapshotTyped(), so the two can never drift.
+MetricsSnapshot FlattenTypedSnapshot(const TypedMetricsSnapshot& typed);
+
 /// Named counter registry. Counter objects are stable: a returned pointer
 /// remains valid for the registry's lifetime, so hot paths can cache it.
 class MetricsRegistry {
@@ -177,8 +208,13 @@ class MetricsRegistry {
   /// every histogram under `name + ".count"` / `".p50"` / `".p95"` /
   /// `".p99"`. Counts delta cleanly; quantile keys are point-in-time
   /// estimates over the histogram's whole life, so their Delta is a
-  /// drift signal, not a windowed quantile.
+  /// drift signal, not a windowed quantile. Exactly
+  /// FlattenTypedSnapshot(SnapshotTyped()).
   MetricsSnapshot Snapshot() const;
+
+  /// Like Snapshot() but kind-preserving — the form the Prometheus
+  /// exporter (and any other kind-aware serializer) consumes.
+  TypedMetricsSnapshot SnapshotTyped() const;
 
   /// Returns per-counter deltas `after - before` (counters absent from
   /// `before` count from zero).
@@ -269,6 +305,18 @@ inline constexpr const char* kIoDispatchWaitPrefetch =
 inline constexpr const char* kIoDispatchWaitFaultback =
     "io.dispatch_wait.faultback";
 inline constexpr const char* kIoDispatchWaitSpill = "io.dispatch_wait.spill";
+// Stall watchdog (src/server/watchdog.h): per-tick condition counters —
+// each counts *observations* (one per offending object per sample), so
+// a sustained stall keeps climbing while a transient blip adds a few.
+inline constexpr const char* kWatchdogTicks = "watchdog.ticks";
+inline constexpr const char* kWatchdogQueriesOverSlo =
+    "watchdog.queries_over_slo";
+inline constexpr const char* kWatchdogParkedReaders =
+    "watchdog.parked_readers";
+inline constexpr const char* kWatchdogIoSaturation = "watchdog.io_saturation";
+inline constexpr const char* kWatchdogSpillThrash = "watchdog.spill_thrash";
+inline constexpr const char* kWatchdogUnhealthy =
+    "watchdog.unhealthy";  // gauge
 }  // namespace metrics
 
 }  // namespace sharing

@@ -1,6 +1,7 @@
 #include "common/stats_reporter.h"
 
 #include "common/logging.h"
+#include "common/metrics_format.h"
 
 namespace sharing {
 
@@ -23,19 +24,10 @@ StatsReporter::~StatsReporter() {
 
 std::string StatsReporter::SnapshotJsonLine(const MetricsSnapshot& snapshot,
                                             int64_t uptime_ms) {
-  std::string out = "{\"uptime_ms\":" + std::to_string(uptime_ms) +
-                    ",\"metrics\":{";
-  bool first = true;
-  for (const auto& [name, value] : snapshot) {
-    if (!first) out += ",";
-    first = false;
-    out += "\"";
-    out += name;  // metric names are [a-z0-9_.]: no escaping needed
-    out += "\":";
-    out += std::to_string(value);
-  }
-  out += "}}";
-  return out;
+  // One shared serializer (common/metrics_format.h) renders both this
+  // JSON-lines format and the admin server's Prometheus text, so the
+  // two export paths cannot drift.
+  return MetricsJsonLine(snapshot, uptime_ms);
 }
 
 void StatsReporter::EmitNow() {

@@ -239,7 +239,7 @@ const char* Trace::InternString(const std::string& s) {
   return pool->insert(s).first->c_str();
 }
 
-std::string Trace::ExportChromeJson() {
+std::string Trace::ExportChromeJson(int64_t since_micros) {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Registry& reg = GetRegistry();
@@ -248,6 +248,13 @@ std::string Trace::ExportChromeJson() {
   }
   std::vector<DecodedEvent> events;
   for (const auto& buffer : buffers) buffer->Decode(&events);
+  if (since_micros > 0) {
+    // Keep any event still in flight at the window start: a span that
+    // began before it but ended inside it is part of the story.
+    std::erase_if(events, [since_micros](const DecodedEvent& ev) {
+      return ev.ts_micros + ev.dur_micros < since_micros;
+    });
+  }
   // chrome://tracing tolerates any order, but sorted-by-time within a
   // tid is what ci/check_trace.sh validates and what a human diffing two
   // exports wants.

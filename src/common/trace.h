@@ -94,8 +94,12 @@ class Trace {
   /// Serializes every live ring into Chrome trace-event JSON:
   /// {"traceEvents":[...]}, events sorted by timestamp within each tid.
   /// Safe to call while other threads record (mid-write slots are
-  /// skipped).
-  static std::string ExportChromeJson();
+  /// skipped). `since_micros` bounds the window: only events still
+  /// running at or after it (span end >= since, instant ts >= since)
+  /// are emitted — the admin server's `/trace?ms=<n>` uses this so a
+  /// scrape of a long-lived engine returns a recent window, not the
+  /// whole ring. 0 (the default) exports everything resident.
+  static std::string ExportChromeJson(int64_t since_micros = 0);
 
   /// ExportChromeJson straight to `path`.
   static Status ExportChromeJsonToFile(const std::string& path);

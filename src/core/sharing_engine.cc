@@ -44,6 +44,13 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.trace_buffer_events = config_.trace_buffer_events;
   qopts.stats_report_period_ms = config_.stats_report_period_ms;
   qopts.stats_report_path = config_.stats_report_path;
+  qopts.admin_port = config_.admin_port;
+  qopts.admin_uds_path = config_.admin_uds_path;
+  qopts.watchdog_period_ms = config_.watchdog_period_ms;
+  qopts.watchdog_query_slo_ms = config_.watchdog_query_slo_ms;
+  qopts.watchdog_parked_reader_ms = config_.watchdog_parked_reader_ms;
+  qopts.watchdog_io_queue_depth = config_.watchdog_io_queue_depth;
+  qopts.watchdog_spill_thrash_pages = config_.watchdog_spill_thrash_pages;
   qpipe_ = std::make_unique<QPipeEngine>(db_->catalog(), qopts,
                                          db_->metrics());
 

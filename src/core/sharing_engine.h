@@ -95,6 +95,19 @@ struct EngineConfig {
   std::size_t stats_report_period_ms = 0;
   std::string stats_report_path;
 
+  /// Embedded admin/introspection server and its stall watchdog (see
+  /// QPipeOptions and docs/ADMIN.md): admin_port -1 = no TCP listener,
+  /// 0 = ephemeral on 127.0.0.1, >0 = that port; the server runs iff a
+  /// TCP or UDS listener is configured. The watchdog thread runs iff
+  /// the server is enabled and watchdog_period_ms > 0.
+  int admin_port = -1;
+  std::string admin_uds_path;
+  std::size_t watchdog_period_ms = 1000;
+  std::size_t watchdog_query_slo_ms = 10000;
+  std::size_t watchdog_parked_reader_ms = 5000;
+  std::size_t watchdog_io_queue_depth = 256;
+  std::size_t watchdog_spill_thrash_pages = 512;
+
   /// CJOIN configuration; the pipeline is built iff `fact_table` is
   /// non-empty (GQP modes require it).
   std::string fact_table;

@@ -133,6 +133,11 @@ std::size_t IoScheduler::QueueDepth() const {
   return depth;
 }
 
+std::size_t IoScheduler::QueueDepth(IoPriority priority) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queues_[static_cast<std::size_t>(priority)].size();
+}
+
 void IoScheduler::RefillLocked(Bucket& bucket,
                                std::chrono::steady_clock::time_point now) {
   if (rate_bytes_per_sec_ <= 0) return;

@@ -166,6 +166,11 @@ class IoScheduler {
   /// Jobs queued and not yet picked up, across all classes.
   std::size_t QueueDepth() const;
 
+  /// Jobs queued in one priority class (the watchdog's per-class
+  /// saturation probe — mirrors the io.queue_depth.* gauges but reads
+  /// the queue directly, so it needs no registry round-trip).
+  std::size_t QueueDepth(IoPriority priority) const;
+
  private:
   struct Job {
     IoTicketRef ticket;

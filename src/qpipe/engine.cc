@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "server/admin_server.h"
+#include "server/watchdog.h"
 
 namespace sharing {
 
@@ -97,16 +99,96 @@ QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
   agg_ = std::make_unique<AggStage>(o, metrics_);
   o.sp_mode = options_.sort_sp;
   sort_ = std::make_unique<SortStage>(o, metrics_);
+
+  // Admin/introspection surface, last: its inspector callbacks read
+  // through the stages, so everything they touch must already exist.
+  if (options_.admin_port >= 0 || !options_.admin_uds_path.empty()) {
+    EngineInspector inspector;
+    inspector.metrics = metrics_;
+    inspector.queries = [this] { return LiveQueries(); };
+    inspector.explain = [this](uint64_t id) { return ExplainQuery(id); };
+    inspector.channels = [this] {
+      std::vector<Stage::ChannelSnapshot> out;
+      for (Stage* stage : std::initializer_list<Stage*>{
+               tscan_.get(), join_.get(), agg_.get(), sort_.get()}) {
+        auto snap = stage->ChannelsSnapshot();
+        out.insert(out.end(), std::make_move_iterator(snap.begin()),
+                   std::make_move_iterator(snap.end()));
+      }
+      std::lock_guard<std::mutex> lock(extra_stages_mutex_);
+      for (const auto& stage : extra_stages_) {
+        auto snap = stage->ChannelsSnapshot();
+        out.insert(out.end(), std::make_move_iterator(snap.begin()),
+                   std::make_move_iterator(snap.end()));
+      }
+      return out;
+    };
+    inspector.cost_models = [this] {
+      std::vector<StageCostModelInfo> out;
+      for (Stage* stage : std::initializer_list<Stage*>{
+               tscan_.get(), join_.get(), agg_.get(), sort_.get()}) {
+        out.push_back({std::string(stage->name()), stage->CostModelSnapshot()});
+      }
+      std::lock_guard<std::mutex> lock(extra_stages_mutex_);
+      for (const auto& stage : extra_stages_) {
+        out.push_back({std::string(stage->name()), stage->CostModelSnapshot()});
+      }
+      return out;
+    };
+    inspector.io_queue_depths = [this] {
+      std::vector<std::size_t> depths;
+      if (io_scheduler_ != nullptr) {
+        depths.reserve(kIoPriorityClasses);
+        for (std::size_t cls = 0; cls < kIoPriorityClasses; ++cls) {
+          depths.push_back(
+              io_scheduler_->QueueDepth(static_cast<IoPriority>(cls)));
+        }
+      }
+      return depths;
+    };
+
+    if (options_.watchdog_period_ms > 0) {
+      Watchdog::Options wopts;
+      wopts.period_ms = options_.watchdog_period_ms;
+      wopts.query_slo_ms = options_.watchdog_query_slo_ms;
+      wopts.parked_reader_ms = options_.watchdog_parked_reader_ms;
+      wopts.io_queue_depth_limit = options_.watchdog_io_queue_depth;
+      wopts.spill_thrash_pages = options_.watchdog_spill_thrash_pages;
+      watchdog_ = std::make_unique<Watchdog>(wopts, inspector);
+      watchdog_->Start();
+    }
+
+    AdminServer::Options aopts;
+    aopts.port = options_.admin_port;
+    aopts.uds_path = options_.admin_uds_path;
+    admin_server_ = std::make_unique<AdminServer>(aopts);
+    RegisterEngineEndpoints(admin_server_.get(), std::move(inspector),
+                            watchdog_.get());
+    Status st = admin_server_->Start();
+    if (!st.ok()) {
+      // Degrade, don't die: the engine runs fine without the admin
+      // surface. The watchdog (if any) keeps warning via logs/metrics.
+      SHARING_LOG(Error) << "admin server disabled: " << st.ToString();
+      admin_server_.reset();
+    }
+  }
 }
 
 QPipeEngine::~QPipeEngine() {
+  // The admin surface goes first: its handlers and the watchdog read
+  // through the stages about to shut down.
+  if (admin_server_ != nullptr) admin_server_->Stop();
+  if (watchdog_ != nullptr) watchdog_->Stop();
   // Stages drain their queues before the scan groups (whose producer
   // threads feed scan packets) are destroyed.
   tscan_->Shutdown();
   join_->Shutdown();
   agg_->Shutdown();
   sort_->Shutdown();
-  for (auto& s : extra_stages_) s->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(extra_stages_mutex_);
+    for (auto& s : extra_stages_) s->Shutdown();
+  }
   // Then the I/O scheduler: queued jobs are dropped (their owners keep
   // state in memory by contract), running ones finish. Clients hold the
   // scheduler by shared_ptr and fall back to synchronous I/O once
@@ -140,7 +222,49 @@ CircularScanGroup* QPipeEngine::ScanGroupFor(const Table* table) {
 }
 
 void QPipeEngine::RegisterExtraStage(std::shared_ptr<Stage> stage) {
+  std::lock_guard<std::mutex> lock(extra_stages_mutex_);
   extra_stages_.push_back(std::move(stage));
+}
+
+std::vector<QPipeEngine::LiveQueryInfo> QPipeEngine::LiveQueries() {
+  const int64_t now = Trace::NowMicros();
+  std::vector<LiveQueryInfo> out;
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  for (auto it = live_queries_.begin(); it != live_queries_.end();) {
+    std::shared_ptr<ExecContext> ctx = it->second.ctx.lock();
+    // Prune abandoned (context died with its handle) and finished
+    // queries; the registry self-cleans on every scrape and submit.
+    if (ctx == nullptr || ctx->explain()->total_micros() > 0) {
+      it = live_queries_.erase(it);
+      continue;
+    }
+    LiveQueryInfo info;
+    info.query_id = it->first;
+    info.signature = it->second.signature;
+    info.age_micros = now - ctx->explain()->start_micros();
+    info.cancelled = ctx->cancelled();
+    const QueryExplain report = ctx->explain()->Build(it->first);
+    info.stage =
+        report.stages.empty() ? "dispatch" : report.stages.back().stage;
+    for (const auto& record : report.stages) {
+      info.pages_delivered += static_cast<int64_t>(record.pages_delivered);
+    }
+    out.push_back(std::move(info));
+    ++it;
+  }
+  return out;
+}
+
+std::optional<QueryExplain> QPipeEngine::ExplainQuery(uint64_t query_id) {
+  std::shared_ptr<ExecContext> ctx;
+  {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    auto it = live_queries_.find(query_id);
+    if (it == live_queries_.end()) return std::nullopt;
+    ctx = it->second.ctx.lock();
+  }
+  if (ctx == nullptr) return std::nullopt;
+  return ctx->explain()->Build(query_id);
 }
 
 void QPipeEngine::SetJoinDispatchHook(DispatchHook hook) {
@@ -205,6 +329,19 @@ QueryHandle QPipeEngine::Submit(PlanNodeRef plan) {
   TraceSpan span("engine", "query.submit", ctx->query_id(),
                  plan->Signature());
   PageSourceRef root = Dispatch(plan, ctx);
+  if (admin_server_ != nullptr || watchdog_ != nullptr) {
+    // Register for /queries, /explain and the watchdog's age probe. The
+    // weak context keeps registration from extending the query's life.
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    if (live_queries_.size() >= 256) {
+      // Backstop prune so an unscrapped registry stays bounded by the
+      // number of genuinely live queries (LiveQueries() prunes harder).
+      std::erase_if(live_queries_,
+                    [](const auto& entry) { return entry.second.ctx.expired(); });
+    }
+    live_queries_[ctx->query_id()] =
+        LiveQuery{plan->Signature(), std::weak_ptr<ExecContext>(ctx)};
+  }
   return QueryHandle(std::move(plan), std::move(root), std::move(ctx));
 }
 

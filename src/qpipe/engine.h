@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/stats_reporter.h"
 #include "common/status_or.h"
@@ -22,6 +23,9 @@
 #include "storage/table.h"
 
 namespace sharing {
+
+class AdminServer;
+class Watchdog;
 
 struct QPipeOptions {
   SpMode scan_sp = SpMode::kOff;
@@ -121,6 +125,35 @@ struct QPipeOptions {
 
   /// StatsReporter sink file (appended); empty = stderr.
   std::string stats_report_path;
+
+  /// Embedded admin/introspection HTTP server (see server/admin_server.h):
+  /// -1 = no TCP listener, 0 = ephemeral port on 127.0.0.1 (read it back
+  /// via QPipeEngine::admin_server()->port()), >0 = that port. The server
+  /// runs iff admin_port >= 0 or admin_uds_path is set.
+  int admin_port = -1;
+
+  /// Unix-domain-socket listener path for the admin server; empty = none.
+  std::string admin_uds_path;
+
+  /// Stall-watchdog sampling period; 0 = no watchdog thread. The
+  /// watchdog only runs when the admin server is enabled (it is the
+  /// /healthz verdict source).
+  std::size_t watchdog_period_ms = 1000;
+
+  /// Watchdog: a live query older than this is flagged.
+  std::size_t watchdog_query_slo_ms = 10000;
+
+  /// Watchdog: a reader parked longer than this on an unclosed sharing
+  /// channel is flagged.
+  std::size_t watchdog_parked_reader_ms = 5000;
+
+  /// Watchdog: an I/O priority class with at least this many queued
+  /// jobs is flagged; 0 disables the check.
+  std::size_t watchdog_io_queue_depth = 256;
+
+  /// Watchdog: spilled + faulted-back pages per period beyond which the
+  /// engine is declared thrashing; 0 disables the check.
+  std::size_t watchdog_spill_thrash_pages = 512;
 
   /// Applies `mode` to all four stages.
   static QPipeOptions AllSp(SpMode mode) {
@@ -224,6 +257,37 @@ class QPipeEngine {
       std::function<PageSourceRef(const PlanNodeRef&, const ExecContextRef&)>;
   void SetJoinDispatchHook(DispatchHook hook);
 
+  /// One in-flight query's admin-server view (the /queries endpoint and
+  /// the watchdog's age-SLO probe).
+  struct LiveQueryInfo {
+    uint64_t query_id = 0;
+    uint64_t signature = 0;
+    /// Submission-to-now age (trace timebase).
+    int64_t age_micros = 0;
+    bool cancelled = false;
+    /// The deepest stage that has recorded an admission for this query
+    /// so far ("dispatch" before any stage has).
+    std::string stage;
+    /// Pages delivered across the query's stage records so far.
+    int64_t pages_delivered = 0;
+  };
+
+  /// Snapshot of every submitted-but-unfinished query. Lazily prunes
+  /// queries whose context died (abandoned handle) or that finished.
+  std::vector<LiveQueryInfo> LiveQueries();
+
+  /// The explain report for one in-flight query; nullopt when the id is
+  /// unknown (or already pruned).
+  std::optional<QueryExplain> ExplainQuery(uint64_t query_id);
+
+  /// The embedded admin server; null unless QPipeOptions::admin_port
+  /// >= 0 or admin_uds_path is set (or if its listener failed to bind).
+  AdminServer* admin_server() const { return admin_server_.get(); }
+
+  /// The stall watchdog; null unless the admin server is enabled and
+  /// QPipeOptions::watchdog_period_ms > 0.
+  Watchdog* watchdog() const { return watchdog_.get(); }
+
  private:
   Catalog* catalog_;
   QPipeOptions options_;
@@ -236,7 +300,23 @@ class QPipeEngine {
   std::unique_ptr<JoinStage> join_;
   std::unique_ptr<AggStage> agg_;
   std::unique_ptr<SortStage> sort_;
+  /// Guards extra_stages_: the admin server's /channels handler walks
+  /// the list concurrently with CJOIN registration.
+  mutable std::mutex extra_stages_mutex_;
   std::vector<std::shared_ptr<Stage>> extra_stages_;
+
+  /// Stopped FIRST in the destructor (handlers and the watchdog read
+  /// through the stages). Declared last-ish but torn down explicitly.
+  std::unique_ptr<Watchdog> watchdog_;
+  std::unique_ptr<AdminServer> admin_server_;
+
+  /// Live-query registry for /queries, /explain and the watchdog.
+  struct LiveQuery {
+    uint64_t signature = 0;
+    std::weak_ptr<ExecContext> ctx;
+  };
+  std::mutex live_mutex_;
+  std::map<uint64_t, LiveQuery> live_queries_;
 
   std::mutex scan_groups_mutex_;
   std::map<const Table*, std::unique_ptr<CircularScanGroup>> scan_groups_;

@@ -230,6 +230,46 @@ SharedPagesList::Snapshot SharedPagesList::GetSnapshot() const {
   return snap;
 }
 
+SharedPagesList::DeepSnapshot SharedPagesList::GetDeepSnapshot() const {
+  DeepSnapshot snap;
+  const int64_t now = Trace::NowMicros();
+  // Reader walk first, outside the list mutex: only the per-shard spin
+  // latches attach/detach already take. Parked-flag and since-stamp are
+  // two relaxed loads — a reader unparking mid-walk can yield a stale
+  // pairing, which is fine for an advisory surface.
+  for (const ReaderShard& shard : shards_) {
+    SpinLatchGuard guard(shard.latch);
+    for (const auto& reader : shard.readers) {
+      ReaderIntrospection info;
+      info.position = reader->cursor.load(std::memory_order_acquire);
+      info.cancelled = reader->cancelled.load(std::memory_order_acquire);
+      info.parked = reader->parked.load(std::memory_order_acquire);
+      const int64_t since =
+          reader->parked_since_micros.load(std::memory_order_relaxed);
+      if (info.parked && since > 0 && now > since) {
+        info.parked_for_micros = now - since;
+      }
+      snap.readers.push_back(info);
+    }
+  }
+  snap.min_reader_position = MinReaderPositionShards();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.published = published_.load(std::memory_order_relaxed);
+    snap.reclaimed = base_;
+    snap.retained = snap.published > base_ ? snap.published - base_ : 0;
+    snap.resident_pages = in_memory_;
+    snap.spilled_pages = snap.retained > in_memory_
+                             ? snap.retained - in_memory_
+                             : 0;
+    snap.ever_attached = ever_attached_;
+    snap.active_readers = active_readers_.load(std::memory_order_relaxed);
+    snap.closed = closed_.load(std::memory_order_relaxed);
+    snap.sealed = sealed_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
 void SharedPagesList::MaybeReclaimLocked() {
   if (!sealed_.load(std::memory_order_relaxed)) {
     return;  // a late attacher could still need the history
@@ -490,6 +530,8 @@ bool SplReader::ParkUntilReady() {
   // predicate store before its flag sweep — both sides seq_cst. Either
   // the producer sees us parked (and locks wait_mutex before notifying,
   // serializing with the wait below), or our re-check sees its update.
+  state_->parked_since_micros.store(Trace::NowMicros(),
+                                    std::memory_order_relaxed);
   state_->parked.store(true, std::memory_order_seq_cst);
   list_->parked_count_.fetch_add(1, std::memory_order_seq_cst);
   {
@@ -501,6 +543,7 @@ bool SplReader::ParkUntilReady() {
     }
   }
   state_->parked.store(false, std::memory_order_relaxed);
+  state_->parked_since_micros.store(0, std::memory_order_relaxed);
   list_->parked_count_.fetch_sub(1, std::memory_order_seq_cst);
   // Continue the chained wakeup BEFORE consuming anything: the producer
   // only seeded one notification, and the binary fan-out here is what

@@ -213,6 +213,40 @@ class SharedPagesList
   };
   Snapshot GetSnapshot() const;
 
+  /// One reader's observable state, read from the sharded atomic
+  /// cursors and parking flags (the introspection path adds NO hot-path
+  /// synchronization — see DeepSnapshot).
+  struct ReaderIntrospection {
+    std::size_t position = 0;
+    bool parked = false;
+    /// How long the reader has currently been parked (0 when not
+    /// parked). Advisory: written relaxed on the park slow path.
+    int64_t parked_for_micros = 0;
+    bool cancelled = false;
+  };
+
+  /// The admin server's deep view: retention split into resident vs
+  /// spilled, the publication/reclamation frontiers, and every
+  /// registered reader's cursor/lag/parked state. Rides the existing
+  /// synchronization only — the list mutex for the resident count (a
+  /// slow-path lock appends already take), per-shard spin latches for
+  /// the reader walk, and the atomic frontiers for everything else.
+  /// Never taken on the producer/reader fast paths.
+  struct DeepSnapshot {
+    std::size_t published = 0;       // pages ever appended
+    std::size_t reclaimed = 0;       // pages freed behind every reader
+    std::size_t retained = 0;        // published - reclaimed
+    std::size_t resident_pages = 0;  // retained and memory-resident
+    std::size_t spilled_pages = 0;   // retained - resident
+    std::size_t ever_attached = 0;
+    std::size_t active_readers = 0;
+    std::size_t min_reader_position = 0;
+    bool closed = false;
+    bool sealed = false;
+    std::vector<ReaderIntrospection> readers;
+  };
+  DeepSnapshot GetDeepSnapshot() const;
+
  private:
   friend class SplReader;
 
@@ -257,6 +291,11 @@ class SharedPagesList
     /// park handshake is seq_cst against published_/closed_ (see
     /// SplReader::ParkUntilReady and WakeParkedReaders).
     std::atomic<bool> parked{false};
+    /// Trace-timebase micros when the current park began (0 when not
+    /// parked). Advisory introspection only — written relaxed inside
+    /// the already-slow park path, read by GetDeepSnapshot and the
+    /// watchdog's parked-reader stall detector.
+    std::atomic<int64_t> parked_since_micros{0};
     std::mutex wait_mutex;
     std::condition_variable wait_cv;
   };

@@ -179,6 +179,29 @@ class PushChannel final : public SharingChannel {
     return stats;
   }
 
+  Introspection Introspect() const override {
+    Introspection out;
+    out.mode = SpMode::kPush;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.stats.readers_attached = ever_attached_;
+    out.stats.pages_produced = pages_produced_;
+    out.stats.attach_window_open = window_open_ && !closed_;
+    out.stats.readers_active = readers_.size();
+    out.stats.max_consumer_lag = lag_.max;
+    out.published = pages_produced_;
+    out.closed = closed_;
+    out.min_reader_position = pages_produced_;
+    for (const auto& reader : readers_) {
+      ReaderIntrospection info;
+      info.position = reader->PagesDelivered();
+      out.min_reader_position = std::min(out.min_reader_position,
+                                         info.position);
+      out.readers.push_back(info);
+    }
+    if (readers_.empty()) out.min_reader_position = 0;
+    return out;
+  }
+
   SpMode mode() const override { return SpMode::kPush; }
 
  private:
@@ -331,6 +354,37 @@ class PullChannel final : public SharingChannel {
       stats.max_consumer_lag = lag_.max;
     }
     return stats;
+  }
+
+  Introspection Introspect() const override {
+    SharedPagesList::DeepSnapshot deep = spl_->GetDeepSnapshot();
+    Introspection out;
+    out.mode = SpMode::kPull;
+    out.stats.readers_attached = deep.ever_attached;
+    out.stats.readers_active = deep.active_readers;
+    out.stats.pages_produced = deep.published;
+    out.stats.attach_window_open = !deep.sealed && !deep.closed;
+    out.published = deep.published;
+    out.resident_pages = deep.resident_pages;
+    out.spilled_pages = deep.spilled_pages;
+    out.reclaimed_pages = deep.reclaimed;
+    out.min_reader_position = deep.min_reader_position;
+    out.closed = deep.closed;
+    out.sealed = deep.sealed;
+    out.readers.reserve(deep.readers.size());
+    for (const auto& r : deep.readers) {
+      ReaderIntrospection info;
+      info.position = r.position;
+      info.parked = r.parked;
+      info.parked_for_micros = r.parked_for_micros;
+      info.cancelled = r.cancelled;
+      out.readers.push_back(info);
+    }
+    {
+      std::lock_guard<std::mutex> lock(close_mutex_);
+      out.stats.max_consumer_lag = lag_.max;
+    }
+    return out;
   }
 
   SpMode mode() const override { return SpMode::kPull; }

@@ -56,12 +56,50 @@ class SharingChannel : public PageSink {
     bool attach_window_open = false;
   };
 
+  /// One consumer's observable state within the channel.
+  struct ReaderIntrospection {
+    /// Pages this reader has consumed.
+    std::size_t position = 0;
+    /// Pull readers only: currently blocked waiting for publication,
+    /// and for how long (0 otherwise). Push FIFOs block inside pop and
+    /// do not expose a parking flag.
+    bool parked = false;
+    int64_t parked_for_micros = 0;
+    bool cancelled = false;
+  };
+
+  /// The admin server's deep view of one live sharing session: the
+  /// summary Stats plus per-reader cursors and — for pull channels —
+  /// the SPL's resident-vs-spilled retention split and frontiers.
+  /// Implementations ride their existing synchronization (channel
+  /// mutex / SPL shard latches + atomics); never called on a hot path.
+  struct Introspection {
+    SpMode mode = SpMode::kOff;
+    Stats stats;
+    /// Pages ever published (== stats.pages_produced).
+    std::size_t published = 0;
+    /// Retained pages split by tier (pull channels; push channels keep
+    /// no history, both stay 0).
+    std::size_t resident_pages = 0;
+    std::size_t spilled_pages = 0;
+    /// Pages reclaimed behind every reader (pull only).
+    std::size_t reclaimed_pages = 0;
+    std::size_t min_reader_position = 0;
+    bool closed = false;
+    /// Pull only: attach window sealed (no future satellite).
+    bool sealed = false;
+    std::vector<ReaderIntrospection> readers;
+  };
+
   /// Attaches a new consumer. Returns nullptr when the attach window has
   /// closed (push: host already emitted; pull: producer closed) or the
   /// host aborted.
   virtual PageSourceRef AttachReader() = 0;
 
   virtual Stats GetStats() const = 0;
+
+  /// Deep state for the admin surface (see Introspection).
+  virtual Introspection Introspect() const = 0;
 
   /// Which SP model this channel implements (kPush or kPull).
   virtual SpMode mode() const = 0;

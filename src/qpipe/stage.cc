@@ -67,6 +67,31 @@ StageStats Stage::GetStats() const {
   return stats;
 }
 
+std::vector<Stage::ChannelSnapshot> Stage::ChannelsSnapshot() const {
+  // Grab refs under the registry mutex, introspect outside it: a
+  // channel's Introspect takes its own (or its SPL's) locks, and
+  // holding the registry across them would order against the on_close
+  // deregistration path.
+  std::vector<std::pair<uint64_t, SharingChannelRef>> live;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    live.reserve(channels_.size());
+    for (const auto& [sig, channel] : channels_) {
+      live.emplace_back(sig, channel);
+    }
+  }
+  std::vector<ChannelSnapshot> out;
+  out.reserve(live.size());
+  for (const auto& [sig, channel] : live) {
+    ChannelSnapshot snap;
+    snap.stage = name_;
+    snap.signature = sig;
+    snap.info = channel->Introspect();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 int64_t Stage::RecordSubmissionLocked(uint64_t sig) {
   const int64_t seq = ++submit_seq_;
   auto it = last_seen_.find(sig);

@@ -185,6 +185,20 @@ class Stage {
   const std::string& name() const { return name_; }
   StageStats GetStats() const;
 
+  /// One live sharing session's deep state, tagged with its registry
+  /// signature and the owning stage's name.
+  struct ChannelSnapshot {
+    std::string stage;
+    uint64_t signature = 0;
+    SharingChannel::Introspection info;
+  };
+
+  /// Deep dump of every in-flight sharing session (the admin server's
+  /// `/channels` feed). Collects the channel refs under the existing
+  /// registry mutex, then introspects each channel outside it — the
+  /// same locking discipline SubmitOrShare already follows.
+  std::vector<ChannelSnapshot> ChannelsSnapshot() const;
+
   /// Per-signature cost-model view (bench / test surface): every tracked
   /// signature's history means and decision counts.
   std::vector<SharingCostModel::SignatureSnapshot> CostModelSnapshot() const {
@@ -276,7 +290,7 @@ class Stage {
   /// adaptive mode (it costs a mutex + ring push per packet).
   std::unique_ptr<SharingCostModel> cost_model_;
 
-  std::mutex registry_mutex_;
+  mutable std::mutex registry_mutex_;
   /// In-flight sharing sessions by plan signature, transport-agnostic.
   std::unordered_map<uint64_t, SharingChannelRef> channels_;
   /// Popularity tracking for the adaptive policy, LRU-bounded at

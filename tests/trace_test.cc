@@ -261,8 +261,22 @@ TEST_F(TraceTest, DisabledOverheadUnderTwoPercent) {
     if (trial == 0 || traced_s < traced_min) traced_min = traced_s;
   }
   // The acceptance bound: tracing compiled in but disabled costs <2% on
-  // a RunPacket-sized work loop.
-  EXPECT_LT(traced_min, base_min * 1.02)
+  // a RunPacket-sized work loop. Sanitizer builds get slack: their
+  // instrumentation inflates the branch's relative cost and the suite
+  // runs under heavy parallel-ctest load, where min-of-N still jitters
+  // past the release-build band.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  constexpr double kBound = 1.10;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  constexpr double kBound = 1.10;
+#else
+  constexpr double kBound = 1.02;
+#endif
+#else
+  constexpr double kBound = 1.02;
+#endif
+  EXPECT_LT(traced_min, base_min * kBound)
       << "disabled tracing overhead: base=" << base_min * 1e3
       << "ms traced=" << traced_min * 1e3 << "ms";
 }

@@ -1,0 +1,168 @@
+// prom_check: structural validator for Prometheus text exposition
+// format 0.0.4, used by ci/check_admin.sh against the admin server's
+// /metrics body.
+//
+//   ./prom_check <metrics.txt>
+//
+// Checks, in order:
+//   1. Every line is a comment (`# ...`), blank, or a sample
+//      `name{labels} value` / `name value`.
+//   2. Every metric name (in samples and `# TYPE` lines) matches the
+//      Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]* — i.e. no un-
+//      sanitized dotted registry names leaked through.
+//   3. Every sample value parses as a number.
+//   4. Every sample is preceded by a `# TYPE` declaration for its base
+//      family (summary samples may extend the name with _sum/_count).
+//   5. Label blocks, when present, are balanced and quoted.
+//
+// Exits 0 with a one-line summary on success; prints the first failure
+// and exits 1. Standalone: no dependency on the engine library.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+bool ValidNameFirst(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool ValidNameChar(char c) {
+  return ValidNameFirst(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool ValidName(const std::string& name) {
+  if (name.empty() || !ValidNameFirst(name[0])) return false;
+  for (char c : name) {
+    if (!ValidNameChar(c)) return false;
+  }
+  return true;
+}
+
+bool ValidValue(const std::string& value) {
+  if (value.empty()) return false;
+  if (value == "NaN" || value == "+Inf" || value == "-Inf") return true;
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+int Fail(std::size_t line_no, const std::string& line, const char* why) {
+  std::fprintf(stderr, "prom_check: line %zu: %s\n  %s\n", line_no, why,
+               line.c_str());
+  return 1;
+}
+
+/// The declared family a sample belongs to: summaries extend the base
+/// name with _sum/_count, gauges get a companion _hwm family of their
+/// own (declared separately), so only the summary suffixes are implied.
+bool CoveredByType(const std::set<std::string>& types,
+                   const std::string& name) {
+  if (types.count(name) > 0) return true;
+  for (const char* suffix : {"_sum", "_count"}) {
+    const std::size_t len = std::strlen(suffix);
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, suffix) == 0 &&
+        types.count(name.substr(0, name.size() - len)) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <metrics.txt>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "prom_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+
+  std::set<std::string> declared_types;
+  std::size_t samples = 0;
+  std::size_t families = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only `# TYPE <name> <kind>` and `# HELP` are meaningful.
+      std::istringstream comment(line);
+      std::string hash, keyword, name, kind;
+      comment >> hash >> keyword;
+      if (keyword == "TYPE") {
+        if (!(comment >> name >> kind)) {
+          return Fail(line_no, line, "malformed # TYPE line");
+        }
+        if (!ValidName(name)) {
+          return Fail(line_no, line, "invalid metric name in # TYPE");
+        }
+        if (kind != "counter" && kind != "gauge" && kind != "summary" &&
+            kind != "histogram" && kind != "untyped") {
+          return Fail(line_no, line, "unknown metric kind in # TYPE");
+        }
+        if (!declared_types.insert(name).second) {
+          return Fail(line_no, line, "duplicate # TYPE for family");
+        }
+        ++families;
+      }
+      continue;
+    }
+
+    // Sample: name[{labels}] value
+    std::size_t pos = 0;
+    while (pos < line.size() && ValidNameChar(line[pos])) ++pos;
+    const std::string name = line.substr(0, pos);
+    if (!ValidName(name)) {
+      return Fail(line_no, line, "invalid metric name (unsanitized?)");
+    }
+    if (pos < line.size() && line[pos] == '{') {
+      const std::size_t close = line.find('}', pos);
+      if (close == std::string::npos) {
+        return Fail(line_no, line, "unbalanced label block");
+      }
+      const std::string labels = line.substr(pos + 1, close - pos - 1);
+      // Minimal label sanity: quotes must balance.
+      if (std::count(labels.begin(), labels.end(), '"') % 2 != 0) {
+        return Fail(line_no, line, "unbalanced quotes in labels");
+      }
+      pos = close + 1;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return Fail(line_no, line, "expected space before sample value");
+    }
+    std::string value = line.substr(pos + 1);
+    // An optional trailing timestamp is allowed by the format; the
+    // engine never emits one, but tolerate it.
+    const std::size_t space = value.find(' ');
+    if (space != std::string::npos) value = value.substr(0, space);
+    if (!ValidValue(value)) {
+      return Fail(line_no, line, "sample value is not a number");
+    }
+    if (!CoveredByType(declared_types, name)) {
+      return Fail(line_no, line, "sample has no preceding # TYPE family");
+    }
+    ++samples;
+  }
+
+  if (samples == 0) {
+    std::fprintf(stderr, "prom_check: no samples found\n");
+    return 1;
+  }
+  std::printf("prom_check OK: %zu samples across %zu families\n", samples,
+              families);
+  return 0;
+}
