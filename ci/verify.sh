@@ -65,6 +65,11 @@ echo "=== contention ablation (smoke) -> BENCH_contention.json ==="
 SHARING_BENCH_SF=0.25 SHARING_BENCH_JSON=BENCH_contention.json \
   ./build/bench_ablation_contention
 
+echo "=== fault ablation (smoke) -> BENCH_faults.json ==="
+# Disarmed fault checks ride the page-append hot path; the binary exits
+# nonzero if the disarmed probe adds >= 2% to a realistic append loop.
+SHARING_BENCH_JSON=BENCH_faults.json ./build/bench_ablation_faults
+
 echo "=== bench trajectory -> BENCH_trajectory.json ==="
 # Folds the sweeps above into the headline numbers a regression diff
 # tracks across PRs (16-reader aggregate, adaptive divergence, drain
@@ -76,6 +81,13 @@ if [[ "${1:-}" != "--fast" ]]; then
   echo "=== tier-1 under AddressSanitizer ==="
   run_suite build-asan -DSHARING_ASAN=ON
 
+  echo "=== chaos: seeded fault schedules over SSB under ASan ==="
+  # Fixed seed 42 plus one logged random seed; every query must end in
+  # OK/Aborted/DeadlineExceeded or an injected error, OK rows must match
+  # the unfaulted reference, and host-kill rounds must produce satellite
+  # re-runs.
+  ci/check_chaos.sh build-asan
+
   echo "=== concurrency suites under ThreadSanitizer ==="
   # The sharing hot path is lock-free by design; TSan proves the seqlock
   # publication, parking handshake, and spill-install races are sound.
@@ -84,7 +96,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake -B build-tsan -S . -DSHARING_TSAN=ON
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'SharingChannelTest|PushChannelTest|PullChannelTest|SpillChannelTest|SplContentionTest|BatchPipeTest|SplTest|FifoBufferTest|AsyncSpillTest|SpillEngineTest|SpBudgetGovernorTest|IoSchedulerTest|CircularScanPrefetchTest|TraceTest|AdminServerTest|AdminEngineTest|WatchdogTest|MetricsFormatTest'
+    -R 'SharingChannelTest|PushChannelTest|PullChannelTest|SpillChannelTest|SplContentionTest|BatchPipeTest|SplTest|FifoBufferTest|AsyncSpillTest|SpillEngineTest|SpBudgetGovernorTest|IoSchedulerTest|CircularScanPrefetchTest|TraceTest|AdminServerTest|AdminEngineTest|WatchdogTest|MetricsFormatTest|FaultRegistryTest|DeadlineTest|CancelRaceTest'
 fi
 
 echo "verify: OK"

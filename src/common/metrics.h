@@ -317,6 +317,18 @@ inline constexpr const char* kWatchdogIoSaturation = "watchdog.io_saturation";
 inline constexpr const char* kWatchdogSpillThrash = "watchdog.spill_thrash";
 inline constexpr const char* kWatchdogUnhealthy =
     "watchdog.unhealthy";  // gauge
+inline constexpr const char* kWatchdogCancelledQueries =
+    "watchdog.cancelled_queries";
+// Fault domains (src/common/fault.h and docs/ROBUSTNESS.md): injected
+// faults, the IoScheduler's transient-failure retries, the governor's
+// spill-disabled degradation latch, and satellite unshared re-runs after
+// a host failure poisoned the sharing channel.
+inline constexpr const char* kFaultInjected = "fault.injected";
+inline constexpr const char* kIoRetries = "io.retries";
+inline constexpr const char* kIoRetryGaveUp = "io.retry_gave_up";
+inline constexpr const char* kSpSpillDisabled = "sp.spill_disabled";  // gauge
+inline constexpr const char* kSharingSatelliteRerun =
+    "sharing.satellite_rerun";
 }  // namespace metrics
 
 }  // namespace sharing

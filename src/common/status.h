@@ -27,6 +27,7 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kIoError,
+  kDeadlineExceeded,  // query exceeded its query_timeout_ms budget
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -73,6 +74,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

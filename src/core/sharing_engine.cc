@@ -51,6 +51,10 @@ SharingEngine::SharingEngine(Database* db, EngineConfig config)
   qopts.watchdog_parked_reader_ms = config_.watchdog_parked_reader_ms;
   qopts.watchdog_io_queue_depth = config_.watchdog_io_queue_depth;
   qopts.watchdog_spill_thrash_pages = config_.watchdog_spill_thrash_pages;
+  qopts.watchdog_cancel_over_slo = config_.watchdog_cancel_over_slo;
+  qopts.query_timeout_ms = config_.query_timeout_ms;
+  qopts.io_retry_limit = config_.io_retry_limit;
+  qopts.fault_spec = config_.fault_spec;
   qpipe_ = std::make_unique<QPipeEngine>(db_->catalog(), qopts,
                                          db_->metrics());
 

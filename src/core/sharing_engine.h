@@ -108,6 +108,17 @@ struct EngineConfig {
   std::size_t watchdog_io_queue_depth = 256;
   std::size_t watchdog_spill_thrash_pages = 512;
 
+  /// Robustness (see QPipeOptions for full semantics): escalate the
+  /// watchdog's over-SLO flag to a cancellation; a per-query wall-clock
+  /// deadline in ms (0 = none) after which Collect returns
+  /// kDeadlineExceeded; bounded retries for transient I/O failures; and
+  /// a fault-injection schedule armed at construction (empty = none —
+  /// see docs/ROBUSTNESS.md for the spec grammar).
+  bool watchdog_cancel_over_slo = false;
+  std::size_t query_timeout_ms = 0;
+  std::size_t io_retry_limit = 0;
+  std::string fault_spec;
+
   /// CJOIN configuration; the pipeline is built iff `fact_table` is
   /// non-empty (GQP modes require it).
   std::string fact_table;

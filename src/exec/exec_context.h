@@ -6,8 +6,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "exec/explain.h"
 
 namespace sharing {
@@ -34,11 +36,58 @@ class ExecContext {
     return cancelled_.load(std::memory_order_acquire);
   }
 
+  /// Arms the query's wall-clock deadline: `deadline_micros` is absolute
+  /// in the Trace::NowMicros timebase, `timeout_ms` the budget it came
+  /// from (for the error message). Called once at submission, before any
+  /// packet can observe the context; 0 = no deadline.
+  void ArmDeadline(int64_t deadline_micros, int64_t timeout_ms) {
+    timeout_ms_ = timeout_ms;
+    deadline_micros_.store(deadline_micros, std::memory_order_release);
+  }
+
+  /// Cancellation OR deadline expiry — the single stop check operators
+  /// and park loops poll between pages. Expiry latches, so the verdict
+  /// (and TerminalStatus) is stable once taken; the clock is only read
+  /// while a deadline is armed and not yet hit.
+  bool StopRequested() {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    const int64_t deadline =
+        deadline_micros_.load(std::memory_order_acquire);
+    if (deadline == 0) return false;
+    if (deadline_hit_.load(std::memory_order_acquire)) return true;
+    if (Trace::NowMicros() < deadline) return false;
+    deadline_hit_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool deadline_exceeded() const {
+    return deadline_hit_.load(std::memory_order_acquire);
+  }
+
+  /// Why the query stopped: DeadlineExceeded beats Aborted (a watchdog
+  /// escalation cancels *because* the deadline passed — the deadline is
+  /// the root cause the caller should see), OK when still running.
+  Status TerminalStatus() const {
+    if (deadline_hit_.load(std::memory_order_acquire)) {
+      return Status::DeadlineExceeded(
+          "query exceeded its " + std::to_string(timeout_ms_) +
+          " ms deadline");
+    }
+    if (cancelled()) return Status::Aborted("query cancelled");
+    return Status::OK();
+  }
+
  private:
   uint64_t query_id_;
   MetricsRegistry* metrics_;
   ExplainStateRef explain_;
   std::atomic<bool> cancelled_{false};
+  /// Absolute deadline (trace timebase micros); 0 = none.
+  std::atomic<int64_t> deadline_micros_{0};
+  /// Latched by the first StopRequested() past the deadline.
+  std::atomic<bool> deadline_hit_{false};
+  /// The configured budget, for the DeadlineExceeded message only.
+  int64_t timeout_ms_ = 0;
 };
 
 using ExecContextRef = std::shared_ptr<ExecContext>;

@@ -62,9 +62,19 @@ Status Abort(const char* why, PageSink* sink,
   return st;
 }
 
-Status FinishCancelled(PageSink* sink,
-                       std::initializer_list<PageSource*> inputs = {}) {
-  return Abort("query cancelled", sink, inputs);
+/// Terminal close for a stop request (cancellation or deadline expiry):
+/// tells upstream producers this consumer is gone, then seals the output
+/// with the context's verdict so DeadlineExceeded propagates intact
+/// instead of degrading into a generic abort.
+Status FinishStopped(ExecContext* ctx, PageSink* sink,
+                     std::initializer_list<PageSource*> inputs = {}) {
+  for (PageSource* in : inputs) {
+    if (in != nullptr) in->CancelConsumer();
+  }
+  Status st = ctx->TerminalStatus();
+  if (st.ok()) st = Status::Aborted("query cancelled");
+  sink->Close(st);
+  return st;
 }
 
 Status FinishNoConsumers(PageSink* sink,
@@ -114,9 +124,9 @@ Status RunScan(const ScanNode& node, const Table* table,
   if (scan_group != nullptr) {
     auto ticket = scan_group->Attach();
     while (ScanPageRef page = ticket->Next()) {
-      if (ctx->cancelled()) {
+      if (ctx->StopRequested()) {
         ticket->Cancel();
-        return FinishCancelled(sink);
+        return FinishStopped(ctx, sink);
       }
       if (!ScanOnePage(node, table->schema(), page->data(), &emitter)) {
         ticket->Cancel();
@@ -131,7 +141,7 @@ Status RunScan(const ScanNode& node, const Table* table,
   } else {
     BufferPool* pool = table->buffer_pool();
     for (std::size_t p = 0; p < table->num_pages(); ++p) {
-      if (ctx->cancelled()) return FinishCancelled(sink);
+      if (ctx->StopRequested()) return FinishStopped(ctx, sink);
       auto guard_or = pool->FetchPage(table->page_id(p));
       if (!guard_or.ok()) {
         sink->Close(guard_or.status());
@@ -166,7 +176,7 @@ Status RunHashJoin(const JoinNode& node, PageSource* build, PageSource* probe,
   std::vector<uint8_t> arena;
   std::unordered_multimap<int64_t, uint32_t> table;
   while (PageRef page = build->Next()) {
-    if (ctx->cancelled()) return FinishCancelled(sink, {build, probe});
+    if (ctx->StopRequested()) return FinishStopped(ctx, sink, {build, probe});
     for (std::size_t i = 0; i < page->row_count(); ++i) {
       const uint8_t* row = page->RowAt(i);
       int64_t key;
@@ -189,7 +199,7 @@ Status RunHashJoin(const JoinNode& node, PageSource* build, PageSource* probe,
   // Probe phase.
   PageEmitter emitter(node.output_schema().row_width(), sink);
   while (PageRef page = probe->Next()) {
-    if (ctx->cancelled()) return FinishCancelled(sink, {probe});
+    if (ctx->StopRequested()) return FinishStopped(ctx, sink, {probe});
     for (std::size_t i = 0; i < page->row_count(); ++i) {
       const uint8_t* row = page->RowAt(i);
       int64_t key;
@@ -249,7 +259,7 @@ Status RunHashAggregate(const AggregateNode& node, PageSource* input,
   std::string key_buf(key_width, '\0');
 
   while (PageRef page = input->Next()) {
-    if (ctx->cancelled()) return FinishCancelled(sink, {input});
+    if (ctx->StopRequested()) return FinishStopped(ctx, sink, {input});
     for (std::size_t i = 0; i < page->row_count(); ++i) {
       const uint8_t* row = page->RowAt(i);
       // Materialize the concatenated group key.
@@ -304,7 +314,7 @@ Status RunHashAggregate(const AggregateNode& node, PageSource* input,
   const Schema& out_schema = node.output_schema();
   PageEmitter emitter(out_schema.row_width(), sink);
   for (const auto& [key, g] : groups) {
-    if (ctx->cancelled()) return FinishCancelled(sink);
+    if (ctx->StopRequested()) return FinishStopped(ctx, sink);
     uint8_t* slot = emitter.AppendSlot();
     if (slot == nullptr) return FinishNoConsumers(sink);
     std::memcpy(slot, key.data(), key.size());
@@ -348,7 +358,7 @@ Status RunSort(const SortNode& node, PageSource* input, ExecContext* ctx,
 
   std::vector<uint8_t> rows;
   while (PageRef page = input->Next()) {
-    if (ctx->cancelled()) return FinishCancelled(sink, {input});
+    if (ctx->StopRequested()) return FinishStopped(ctx, sink, {input});
     if (page->row_count() == 0) continue;
     rows.insert(rows.end(), page->RowAt(0),
                 page->RowAt(0) + page->row_count() * width);
@@ -407,7 +417,7 @@ Status RunSort(const SortNode& node, PageSource* input, ExecContext* ctx,
 
   PageEmitter emitter(width, sink);
   for (uint32_t idx : order) {
-    if (ctx->cancelled()) return FinishCancelled(sink);
+    if (ctx->StopRequested()) return FinishStopped(ctx, sink);
     if (!emitter.AppendRow(rows.data() + std::size_t(idx) * width)) {
       return FinishNoConsumers(sink);
     }

@@ -1,8 +1,12 @@
 #include "io/io_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/trace.h"
 
 namespace sharing {
@@ -23,6 +27,26 @@ constexpr double kMinBurstBytes = 64.0 * 1024.0;
 
 bool IsReadClass(IoPriority priority) {
   return priority != IoPriority::kSpillWrite;
+}
+
+/// A failure worth re-attempting: the device or service glitched but may
+/// recover. ENOSPC (kResourceExhausted), OutOfRange, and Aborted are
+/// permanent as far as a retry loop is concerned.
+bool IsTransient(const Status& st) {
+  return st.code() == StatusCode::kIoError ||
+         st.code() == StatusCode::kUnavailable;
+}
+
+/// Backoff doubling cap: one glitch should cost milliseconds, not pin an
+/// I/O worker for seconds.
+constexpr uint64_t kMaxBackoffMicros = 50'000;
+
+/// Per-worker jitter stream. Seeded per thread from a global counter —
+/// jitter only needs to decorrelate workers, not replay.
+Rng& JitterRng() {
+  static std::atomic<uint64_t> seq{0};
+  thread_local Rng rng(0x6a09e667f3bcc909ull + seq.fetch_add(1));
+  return rng;
 }
 
 }  // namespace
@@ -67,6 +91,8 @@ IoScheduler::IoScheduler(Options options)
       reads_issued_(options_.metrics->GetCounter(metrics::kIoReadsIssued)),
       writes_issued_(options_.metrics->GetCounter(metrics::kIoWritesIssued)),
       stall_micros_(options_.metrics->GetCounter(metrics::kIoStallMicros)),
+      retries_(options_.metrics->GetCounter(metrics::kIoRetries)),
+      retry_gave_up_(options_.metrics->GetCounter(metrics::kIoRetryGaveUp)),
       queue_depth_(options_.metrics->GetGauge(metrics::kIoQueueDepth)),
       class_queue_depth_{
           options_.metrics->GetGauge(metrics::kIoQueueDepthPrefetch),
@@ -161,6 +187,44 @@ void IoScheduler::FinishJob(Job job, Status status) {
   ticket->Complete(std::move(status));
 }
 
+Status IoScheduler::RunAttempt(const Job& job) {
+  if (FaultHit hit = SHARING_FAULT_POINT(fault_points::kIoDispatchDelay)) {
+    // Payload = injected latency in micros (default 1ms): models a device
+    // hiccup without failing the job.
+    const int64_t micros = hit.payload > 0 ? hit.payload : 1000;
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+  if (SHARING_FAULT_POINT(fault_points::kIoDispatchFail)) {
+    return Status::IoError("injected transient io dispatch failure");
+  }
+  return job.work ? job.work() : Status::OK();
+}
+
+Status IoScheduler::RunWithRetry(const Job& job) {
+  Status st = RunAttempt(job);
+  for (std::size_t attempt = 0;
+       attempt < options_.retry_limit && IsTransient(st); ++attempt) {
+    uint64_t backoff = options_.retry_backoff_micros;
+    backoff = std::min(kMaxBackoffMicros, backoff << std::min<std::size_t>(
+                                              attempt, 20));
+    if (backoff > 0) {
+      const int64_t jittered = JitterRng().UniformInt(
+          static_cast<int64_t>(backoff / 2), static_cast<int64_t>(backoff));
+      std::this_thread::sleep_for(std::chrono::microseconds(jittered));
+    }
+    retries_->Increment();
+    st = RunAttempt(job);
+  }
+  if (options_.retry_limit > 0 && IsTransient(st)) {
+    retry_gave_up_->Increment();
+    SHARING_LOG(Warning) << "io job ("
+                         << IoPriorityToString(job.priority)
+                         << ") still failing after " << options_.retry_limit
+                         << " retries: " << st.ToString();
+  }
+  return st;
+}
+
 void IoScheduler::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -238,7 +302,7 @@ void IoScheduler::WorkerLoop() {
           TraceSpan span("io", kJobSpanName[cls]);
           span.AddArg("bytes", static_cast<int64_t>(job.bytes));
           span.AddArg("queue_wait_us", wait_micros);
-          st = job.work ? job.work() : Status::OK();
+          st = RunWithRetry(job);
         }
         FinishJob(std::move(job), std::move(st));
       } else {

@@ -135,6 +135,19 @@ class IoScheduler {
     /// modeled device bandwidth.
     std::size_t budget_mib_per_sec = 0;
 
+    /// Re-attempts granted to a job whose work body fails with a
+    /// *transient* status (kIoError / kUnavailable) before the failure is
+    /// surfaced on the ticket. 0 disables retry. Each re-attempt waits an
+    /// exponentially growing, jittered backoff on the worker thread, so a
+    /// glitching device is retried without hammering it in lockstep.
+    /// Permanent failures (OutOfRange, ResourceExhausted/ENOSPC, Aborted)
+    /// are never retried — retrying ENOSPC just burns the backoff budget.
+    std::size_t retry_limit = 0;
+
+    /// First backoff in microseconds; doubles per attempt (capped at
+    /// 50ms) with uniform jitter in [backoff/2, backoff].
+    uint32_t retry_backoff_micros = 200;
+
     MetricsRegistry* metrics = &MetricsRegistry::Global();
   };
 
@@ -195,6 +208,16 @@ class IoScheduler {
   void WorkerLoop();
   void RefillLocked(Bucket& bucket, std::chrono::steady_clock::time_point now);
 
+  /// One execution of the job's work body, with the io.dispatch.* fault
+  /// points (injected latency / transient failure) applied around it.
+  Status RunAttempt(const Job& job);
+
+  /// RunAttempt plus the transient-failure retry policy: up to
+  /// options_.retry_limit re-attempts with exponential backoff + jitter,
+  /// counting io.retries per re-attempt and io.retry_gave_up when the
+  /// budget is exhausted with the failure still transient.
+  Status RunWithRetry(const Job& job);
+
   /// Destroys the job's captures, then completes its ticket with
   /// `status` — in that order, because a waiter may tear down everything
   /// the captures reference (including this scheduler's last owner) the
@@ -205,6 +228,8 @@ class IoScheduler {
   Counter* reads_issued_;
   Counter* writes_issued_;
   Counter* stall_micros_;
+  Counter* retries_;
+  Counter* retry_gave_up_;
   Gauge* queue_depth_;
   /// Per-class views of the two aggregates above, indexed by IoPriority.
   std::array<Gauge*, kIoPriorityClasses> class_queue_depth_;

@@ -1,5 +1,6 @@
 #include "qpipe/engine.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "server/admin_server.h"
@@ -14,10 +15,21 @@ StatusOr<ResultSet> QueryHandle::Collect() {
   TraceSpan collect_span("engine", "query.collect", qid, sig);
   ResultSet result(schema());
   while (PageRef page = root_->Next()) {
+    if (ctx_->StopRequested()) {
+      // The collector is the last boundary a deadline can stop at; a
+      // partial result is discarded, never returned as if complete.
+      root_->CancelConsumer();
+      return ctx_->TerminalStatus();
+    }
     result.AppendPage(*page);
   }
   Status st = root_->FinalStatus();
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    // An expired deadline is the root cause of whatever downstream
+    // status the stop surfaced as (aborted readers, closed channels).
+    if (ctx_->deadline_exceeded()) return ctx_->TerminalStatus();
+    return st;
+  }
   // The query is done: stamp its wall clock, feed the latency
   // histogram, and attach the finished explain report. The engine-layer
   // submit->finish span is emitted here as one complete event (span
@@ -51,6 +63,16 @@ QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
   // an engine configured with the knob turns it on and leaves it on —
   // a second engine in the same process shares the recorder.
   if (options_.trace_enabled) Trace::Enable(options_.trace_buffer_events);
+  // Fault registry: bind the fire counter to this engine's registry and
+  // arm any configured schedule. An invalid spec aborts construction —
+  // a chaos run that silently tests nothing is worse than one that
+  // refuses to start.
+  FaultRegistry::Global().BindMetrics(metrics_);
+  if (!options_.fault_spec.empty()) {
+    Status fault_st = FaultRegistry::Global().Arm(options_.fault_spec);
+    SHARING_CHECK(fault_st.ok())
+        << "bad fault_spec: " << fault_st.ToString();
+  }
   if (options_.stats_report_period_ms > 0) {
     StatsReporter::Options ropts;
     ropts.metrics = metrics_;
@@ -62,6 +84,7 @@ QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
     IoScheduler::Options iopts;
     iopts.threads = options_.io_threads;
     iopts.budget_mib_per_sec = options_.io_budget_mib;
+    iopts.retry_limit = options_.io_retry_limit;
     iopts.metrics = metrics_;
     io_scheduler_ = std::make_shared<IoScheduler>(iopts);
   }
@@ -146,6 +169,25 @@ QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
       }
       return depths;
     };
+    inspector.cancel_query = [this](uint64_t id) {
+      std::shared_ptr<ExecContext> ctx;
+      {
+        std::lock_guard<std::mutex> lock(live_mutex_);
+        auto it = live_queries_.find(id);
+        if (it == live_queries_.end()) return false;
+        ctx = it->second.ctx.lock();
+      }
+      if (ctx == nullptr || ctx->cancelled()) return false;
+      // Context-only cancel (no PageSource to hand the watchdog): park
+      // loops poll the context in bounded slices, so the stop still
+      // propagates without a reader-side wakeup.
+      ctx->Cancel();
+      return true;
+    };
+    inspector.spill_health = [this] {
+      return sp_governor_ != nullptr ? sp_governor_->DisabledReason()
+                                     : Status::OK();
+    };
 
     if (options_.watchdog_period_ms > 0) {
       Watchdog::Options wopts;
@@ -154,6 +196,7 @@ QPipeEngine::QPipeEngine(Catalog* catalog, QPipeOptions options,
       wopts.parked_reader_ms = options_.watchdog_parked_reader_ms;
       wopts.io_queue_depth_limit = options_.watchdog_io_queue_depth;
       wopts.spill_thrash_pages = options_.watchdog_spill_thrash_pages;
+      wopts.cancel_over_slo = options_.watchdog_cancel_over_slo;
       watchdog_ = std::make_unique<Watchdog>(wopts, inspector);
       watchdog_->Start();
     }
@@ -326,6 +369,11 @@ PageSourceRef QPipeEngine::Dispatch(const PlanNodeRef& node,
 
 QueryHandle QPipeEngine::Submit(PlanNodeRef plan) {
   auto ctx = std::make_shared<ExecContext>(NextQueryId(), metrics_);
+  if (options_.query_timeout_ms > 0) {
+    const int64_t timeout_ms =
+        static_cast<int64_t>(options_.query_timeout_ms);
+    ctx->ArmDeadline(Trace::NowMicros() + timeout_ms * 1000, timeout_ms);
+  }
   TraceSpan span("engine", "query.submit", ctx->query_id(),
                  plan->Signature());
   PageSourceRef root = Dispatch(plan, ctx);

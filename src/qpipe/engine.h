@@ -155,6 +155,33 @@ struct QPipeOptions {
   /// engine is declared thrashing; 0 disables the check.
   std::size_t watchdog_spill_thrash_pages = 512;
 
+  /// Watchdog escalation: when a live query exceeds the age SLO
+  /// (watchdog_query_slo_ms), cancel it instead of only flagging it in
+  /// /healthz. Off by default — the SLO is a warning threshold, not a
+  /// guarantee; per-query budgets belong in query_timeout_ms.
+  bool watchdog_cancel_over_slo = false;
+
+  /// Per-query wall-clock budget in milliseconds; 0 = unlimited. An
+  /// expired query stops at the next page boundary (operator polls,
+  /// reader parks, I/O waits) and Collect returns kDeadlineExceeded
+  /// instead of hanging on a stalled input.
+  std::size_t query_timeout_ms = 0;
+
+  /// I/O scheduler retries for transiently failing jobs (kIoError /
+  /// kUnavailable), with exponential backoff + jitter on the worker;
+  /// 0 disables. See IoScheduler::Options::retry_limit.
+  std::size_t io_retry_limit = 0;
+
+  /// Fault-injection schedule armed at engine construction; empty = none.
+  /// Grammar (see common/fault.h): comma-separated
+  /// `seed=<uint>` / `<point>=p<prob>` / `<point>=n<N>` / `<point>=once`,
+  /// each with an optional `*<payload>` suffix — e.g.
+  /// "seed=7,disk.read=p0.01,io.dispatch.delay=n10*2000". The registry
+  /// is process-global; the /faults admin endpoint re-arms it at run
+  /// time. An invalid spec fails engine construction loudly (a chaos run
+  /// that silently tests nothing is worse than one that refuses to run).
+  std::string fault_spec;
+
   /// Applies `mode` to all four stages.
   static QPipeOptions AllSp(SpMode mode) {
     QPipeOptions o;

@@ -9,8 +9,10 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 
 #include "common/macros.h"
@@ -80,7 +82,7 @@ class FifoBuffer final : public PageSource, public PageSink {
 
   PageRef Next() override {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (!WaitNotEmptyLocked(lock)) return nullptr;
     if (queue_.empty()) return nullptr;
     PageRef page = std::move(queue_.front());
     queue_.pop_front();
@@ -103,7 +105,7 @@ class FifoBuffer final : public PageSource, public PageSink {
     std::size_t got = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      if (!WaitNotEmptyLocked(lock)) return 0;
       while (got < max_pages && !queue_.empty()) {
         out->push_back(std::move(queue_.front()));
         queue_.pop_front();
@@ -122,10 +124,22 @@ class FifoBuffer final : public PageSource, public PageSink {
 
   Status FinalStatus() const override {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopped_.ok()) return stopped_;
     return final_;
   }
 
   void CancelConsumer() override { CancelReader(); }
+
+  /// Stop probe (query deadline / watchdog cancel): a consumer blocked on
+  /// an empty buffer polls it in bounded wait slices instead of sleeping
+  /// until the producer puts, and on a non-OK probe abandons the stream
+  /// with that status sticky in FinalStatus (the producer's next Put
+  /// returns false). Bind before the consumer's first read; the probe
+  /// must be lock-free.
+  void BindStopCheck(std::function<Status()> stop_check) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_check_ = std::move(stop_check);
+  }
 
   /// Consumer-side abandonment: wakes a blocked producer and makes all
   /// subsequent Put calls return false. Buffered pages are dropped.
@@ -150,6 +164,29 @@ class FifoBuffer final : public PageSource, public PageSink {
   }
 
  private:
+  /// Blocks until a page is buffered or the stream closes. With a stop
+  /// probe bound the wait runs in bounded slices polling it; a non-OK
+  /// probe latches `stopped_`, cancels the reader side (unblocking a
+  /// producer parked on a full buffer), and returns false.
+  bool WaitNotEmptyLocked(std::unique_lock<std::mutex>& lock) {
+    if (!stop_check_) {
+      not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      return true;
+    }
+    while (queue_.empty() && !closed_) {
+      const Status st = stop_check_();
+      if (!st.ok()) {
+        if (stopped_.ok()) stopped_ = st;
+        reader_cancelled_ = true;
+        queue_.clear();
+        not_full_.notify_all();
+        return false;
+      }
+      not_empty_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+    return true;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
@@ -159,6 +196,12 @@ class FifoBuffer final : public PageSource, public PageSink {
   bool closed_ = false;
   bool reader_cancelled_ = false;
   Status final_;
+  /// Stop-probe verdict, sticky once non-OK (see BindStopCheck). Guarded
+  /// by mutex_.
+  Status stopped_;
+  /// External stop probe; written before the first read, called only
+  /// from the consumer's wait loop. Guarded by mutex_.
+  std::function<Status()> stop_check_;
 };
 
 }  // namespace sharing

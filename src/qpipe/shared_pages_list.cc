@@ -1,6 +1,7 @@
 #include "qpipe/shared_pages_list.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <thread>
 
@@ -520,6 +521,12 @@ bool SplReader::ParkUntilReady() {
     __builtin_ia32_pause();
 #endif
   }
+  // Stop probe (deadline / watchdog cancel): checked before committing to
+  // the park and then once per bounded wait slice below — a reader parked
+  // on an idle producer observes its deadline within one slice instead of
+  // sleeping until a publication that may never come.
+  Status stop = stop_check_ ? stop_check_() : Status::OK();
+  if (!stop.ok()) return FailStopped(stop);
   list_->reader_parks_->Increment();
   // Span covers the futex wait only (the spin above is microseconds and
   // the common case records nothing).
@@ -539,7 +546,16 @@ bool SplReader::ParkUntilReady() {
     while (!(state_->cancelled.load(std::memory_order_seq_cst) ||
              cursor_ < list_->published_.load(std::memory_order_seq_cst) ||
              list_->closed_.load(std::memory_order_seq_cst))) {
-      state_->wait_cv.wait(lock);
+      if (!stop_check_) {
+        state_->wait_cv.wait(lock);
+        continue;
+      }
+      // The probe is lock-free (query-context atomics), so calling it
+      // under wait_mutex nests no lock. error_ recording waits until
+      // wait_mutex is released — Cancel() notifies through it.
+      stop = stop_check_();
+      if (!stop.ok()) break;
+      state_->wait_cv.wait_for(lock, std::chrono::milliseconds(10));
     }
   }
   state_->parked.store(false, std::memory_order_relaxed);
@@ -549,7 +565,19 @@ bool SplReader::ParkUntilReady() {
   // only seeded one notification, and the binary fan-out here is what
   // propagates it to every other frontier-parked reader.
   list_->WakeFrontierParked(2);
+  if (!stop.ok()) return FailStopped(stop);
   return !state_->cancelled.load(std::memory_order_relaxed);
+}
+
+bool SplReader::FailStopped(const Status& st) {
+  {
+    std::lock_guard<std::mutex> lock(list_->mutex_);
+    if (error_.ok()) error_ = st;
+  }
+  // Detach so the producer's early-stop contract and reclamation see this
+  // reader gone; FinalStatus prefers the sticky error over "cancelled".
+  Cancel();
+  return false;
 }
 
 PageRef SplReader::SlowResolve(std::size_t pos) {

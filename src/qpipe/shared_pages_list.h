@@ -70,6 +70,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -450,6 +451,14 @@ class SplReader final : public PageSource {
   /// pages this reader was holding back become reclaimable.
   void Cancel();
 
+  /// Stop probe (query deadline / watchdog cancel): a parked reader polls
+  /// it in bounded wait slices instead of sleeping until the producer
+  /// publishes, and on a non-OK probe detaches with that status sticky in
+  /// FinalStatus. Bind before the consumer's first read.
+  void BindStopCheck(std::function<Status()> stop_check) override {
+    stop_check_ = std::move(stop_check);
+  }
+
  private:
   friend class SharedPagesList;
   SplReader(std::shared_ptr<SharedPagesList> list,
@@ -476,9 +485,14 @@ class SplReader final : public PageSource {
   PageRef SlowResolve(std::size_t pos);
 
   /// Parks on the reader's own condvar until a page is published, the
-  /// list closes, or the reader is cancelled. Returns false iff
-  /// cancelled.
+  /// list closes, or the reader is cancelled. With a stop probe bound the
+  /// wait runs in bounded slices polling it. Returns false iff cancelled
+  /// or stopped by the probe.
   bool ParkUntilReady();
+
+  /// The stop-probe exit: latches `st` into error_ (surfaced through
+  /// FinalStatus) and detaches the reader. Always returns false.
+  bool FailStopped(const Status& st);
 
   std::shared_ptr<SharedPagesList> list_;
   std::shared_ptr<SharedPagesList::ReaderState> state_;
@@ -487,9 +501,12 @@ class SplReader final : public PageSource {
   /// Reader-local cursor mirror (state_->cursor is the published copy).
   std::size_t cursor_ = 0;
   std::size_t shard_index_ = 0;
-  /// Sticky fault-back failure; surfaced through FinalStatus. Guarded by
-  /// the list mutex.
+  /// Sticky fault-back (or stop-probe) failure; surfaced through
+  /// FinalStatus. Guarded by the list mutex.
   Status error_;
+  /// External stop probe (see BindStopCheck). Written before the first
+  /// read, then only called from this reader's own thread.
+  std::function<Status()> stop_check_;
   /// In-flight readahead of the next spilled slot. Touched only by this
   /// reader's own Next()/destructor (readers are single-consumer), so it
   /// needs no lock of its own.

@@ -5,12 +5,23 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 
 namespace sharing {
 
 namespace {
+
+/// The `sharing.append` fault point, shared by both transports: a fired
+/// check poisons the channel (it closes with the injected error, which
+/// every attached satellite observes as its final status) and the put
+/// reports failure to the host. This is the "host crashed mid-production"
+/// drill the chaos harness runs — satellites must recover by re-running
+/// unshared (see stage.cc), never by serving the truncated result.
+Status InjectedAppendFault() {
+  return Status::IoError("injected sharing append fault");
+}
 
 int64_t NowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -74,6 +85,10 @@ class PushChannel final : public SharingChannel {
     // Dedicated single-page path: unlike PutBatch it allocates nothing
     // beyond the satellite deep copies, so page-at-a-time configurations
     // (sp_read_batch <= 1) keep their pre-batching cost.
+    if (SHARING_FAULT_POINT(fault_points::kSharingAppend)) {
+      Close(InjectedAppendFault());
+      return false;
+    }
     TraceSpan span("sharing", "push.put", options_.query_id,
                    options_.signature);
     std::vector<std::shared_ptr<FifoBuffer>> readers;
@@ -108,6 +123,10 @@ class PushChannel final : public SharingChannel {
     if (pages.empty()) {
       std::lock_guard<std::mutex> lock(mutex_);
       return !closed_;
+    }
+    if (SHARING_FAULT_POINT(fault_points::kSharingAppend)) {
+      Close(InjectedAppendFault());
+      return false;
     }
     TraceSpan span("sharing", "push.put", options_.query_id,
                    options_.signature);
@@ -306,6 +325,10 @@ class PullChannel final : public SharingChannel {
   }
 
   bool Put(PageRef page) override {
+    if (SHARING_FAULT_POINT(fault_points::kSharingAppend)) {
+      Close(InjectedAppendFault());
+      return false;
+    }
     TraceSpan span("sharing", "pull.put", options_.query_id,
                    options_.signature);
     span.AddArg("pages", 1);
@@ -317,6 +340,10 @@ class PullChannel final : public SharingChannel {
 
   bool PutBatch(std::vector<PageRef> pages) override {
     if (pages.empty()) return !spl_->closed();
+    if (SHARING_FAULT_POINT(fault_points::kSharingAppend)) {
+      Close(InjectedAppendFault());
+      return false;
+    }
     const std::size_t count = pages.size();
     TraceSpan span("sharing", "pull.put", options_.query_id,
                    options_.signature);

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "qpipe/shared_pages_list.h"
 
@@ -89,6 +90,7 @@ SpBudgetGovernor::SpBudgetGovernor(Options options)
       pages_spilled_(options_.metrics->GetCounter(metrics::kSpPagesSpilled)),
       unspill_reads_(options_.metrics->GetCounter(metrics::kSpUnspillReads)),
       spill_bytes_(options_.metrics->GetGauge(metrics::kSpSpillBytes)),
+      spill_disabled_(options_.metrics->GetGauge(metrics::kSpSpillDisabled)),
       scheduler_(options_.scheduler) {
   // Only the weak reference is kept (see Options::scheduler): spill jobs
   // pin this governor, and the governor must never be what keeps the
@@ -157,10 +159,32 @@ void SpBudgetGovernor::Rebalance(SharedPagesList* appender) {
   }
 }
 
+void SpBudgetGovernor::DisableStore(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(disabled_mutex_);
+    if (!disabled_cause_.ok()) {  // already latched; first cause wins
+      store_failed_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    disabled_cause_ = cause;
+  }
+  store_failed_.store(true, std::memory_order_relaxed);
+  spill_disabled_->Set(1);
+  // The latch makes this a once-per-governor event, so one Error line is
+  // the rate limit: subsequent failures short-circuit above.
+  SHARING_LOG(Error) << "SP spill tier disabled: " << cause.ToString()
+                     << " — queries keep running without a memory budget "
+                        "(sp.spill_disabled=1, see /healthz)";
+}
+
 DiskManager* SpBudgetGovernor::EnsureStore() {
   std::lock_guard<std::mutex> lock(store_mutex_);
   if (store_ != nullptr) return store_.get();
   if (store_failed_.load(std::memory_order_relaxed)) return nullptr;
+  if (SHARING_FAULT_POINT(fault_points::kSpillOpen)) {
+    DisableStore(Status::IoError("injected spill store open failure"));
+    return nullptr;
+  }
   DiskOptions disk;
   disk.read_latency_micros = options_.read_latency_micros;
   disk.read_bandwidth_mib = options_.read_bandwidth_mib;
@@ -186,13 +210,12 @@ DiskManager* SpBudgetGovernor::EnsureStore() {
     disk.path = options_.spill_path;
   }
   if (disk.path.empty()) {
-    SHARING_LOG(Error) << "spill store unavailable at "
-                       << (options_.spill_path.empty() ? "<temp dir>"
-                                                       : options_.spill_path)
-                       << " (unwritable, or the file already exists — "
-                          "spill stores are never shared or truncated); "
-                          "SP memory budget disabled";
-    store_failed_.store(true, std::memory_order_relaxed);
+    DisableStore(Status::IoError(
+        "spill store unavailable at " +
+        (options_.spill_path.empty() ? std::string("<temp dir>")
+                                     : options_.spill_path) +
+        " (unwritable, or the file already exists — spill stores are "
+        "never shared or truncated)"));
     return nullptr;
   }
   store_ = std::make_unique<DiskManager>(disk, options_.metrics);
@@ -209,7 +232,17 @@ SpilledPageRef SpBudgetGovernor::Spill(const RowPage& page) {
   std::vector<PageId> chain;
   chain.reserve(chain_len);
   for (std::size_t i = 0; i < chain_len; ++i) {
-    chain.push_back(store->AllocatePage());
+    PageId id = store->AllocatePage();
+    if (id == kInvalidPageId) {
+      // Spill store out of space: degrade to no-spill (pages stay
+      // resident, over budget) rather than failing the queries whose
+      // pages we were evicting on their behalf.
+      DisableStore(Status::ResourceExhausted(
+          "spill store allocation failed (out of space)"));
+      for (PageId allocated : chain) store->FreePage(allocated);
+      return nullptr;
+    }
+    chain.push_back(id);
   }
 
   // Stream the header + row bytes through a page-sized scratch frame.
@@ -244,9 +277,7 @@ SpilledPageRef SpBudgetGovernor::Spill(const RowPage& page) {
       // filesystem does not heal mid-run, and without the latch every
       // subsequent Append would re-select the same victims and re-issue
       // the same failing writes across all channels forever.
-      SHARING_LOG(Error) << "spill write failed (" << st.ToString()
-                         << "); SP memory budget disabled";
-      store_failed_.store(true, std::memory_order_relaxed);
+      DisableStore(st);
       for (PageId id : chain) store->FreePage(id);
       return nullptr;
     }

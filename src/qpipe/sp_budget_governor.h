@@ -264,6 +264,14 @@ class SpBudgetGovernor
   /// Bytes currently held by the spill store (the sp.spill_bytes gauge).
   int64_t SpillBytes() const { return spill_bytes_->Get(); }
 
+  /// Why the spill tier latched off — OK while it is still usable. The
+  /// admin /healthz endpoint surfaces this so "budgeted engine silently
+  /// running unbounded" is observable, not just a log line.
+  Status DisabledReason() const {
+    std::lock_guard<std::mutex> lock(disabled_mutex_);
+    return disabled_cause_;
+  }
+
  private:
   friend class SpilledPage;
 
@@ -272,6 +280,12 @@ class SpBudgetGovernor
   /// The spill store, created on first use. Returns nullptr on failure.
   DiskManager* EnsureStore();
 
+  /// Latches the spill tier off permanently, recording `cause` for
+  /// /healthz and raising the sp.spill_disabled gauge. Idempotent — the
+  /// first cause wins and the warning fires once, so a storm of failing
+  /// writes cannot flood the log.
+  void DisableStore(const Status& cause);
+
   /// Called by ~SpilledPage: returns a chain to the free list unread.
   void FreeChain(const std::vector<PageId>& chain, std::size_t bytes);
 
@@ -279,6 +293,8 @@ class SpBudgetGovernor
   Counter* pages_spilled_;
   Counter* unspill_reads_;
   Gauge* spill_bytes_;
+  /// 1 once the spill tier latched off (sp.spill_disabled), else 0.
+  Gauge* spill_disabled_;
 
   std::atomic<int64_t> in_memory_{0};
   /// Async spill writes queued or running (bounded by spill_write_window).
@@ -294,6 +310,10 @@ class SpBudgetGovernor
   /// Latched when the spill store cannot be created: Rebalance becomes a
   /// cheap no-op instead of rescanning every channel on every append.
   std::atomic<bool> store_failed_{false};
+  /// First failure that latched the store off (separate lock: DisableStore
+  /// runs both with and without store_mutex_ held).
+  mutable std::mutex disabled_mutex_;
+  Status disabled_cause_ = Status::OK();
 };
 
 }  // namespace sharing

@@ -1,8 +1,10 @@
 #include "qpipe/stage.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -21,6 +23,121 @@ int64_t NowMicros() {
       .count();
 }
 
+/// The stop probe bound to every source a submission hands back: maps the
+/// query context's cancel/deadline state to the status a blocked reader
+/// must surface (DeadlineExceeded beats Aborted — see
+/// ExecContext::TerminalStatus). Lock-free; safe under a reader's wait
+/// mutex.
+std::function<Status()> MakeStopProbe(ExecContextRef ctx) {
+  return [ctx = std::move(ctx)] {
+    return ctx->StopRequested() ? ctx->TerminalStatus() : Status::OK();
+  };
+}
+
+/// Host-failure containment for satellites: a satellite performs no work
+/// of its own, so a host that dies (fault injection, disk error, cancel)
+/// poisons the channel and would fail every attached query with an error
+/// none of them caused. This wrapper detects the poison at end-of-stream
+/// and — when the satellite saw NO pages yet and is not itself being
+/// stopped — transparently re-dispatches the packet unshared, exactly
+/// once. A satellite that already consumed pages cannot be replayed
+/// (page order across a re-run is not reproducible), so mid-stream
+/// poison propagates to the query as the host's status.
+class SatelliteRerunSource final : public PageSource {
+ public:
+  SatelliteRerunSource(PageSourceRef inner, ExecContextRef ctx,
+                       std::function<PageSourceRef()> rerun,
+                       Counter* rerun_counter)
+      : inner_(std::move(inner)),
+        ctx_(std::move(ctx)),
+        rerun_(std::move(rerun)),
+        rerun_counter_(rerun_counter) {}
+
+  PageRef Next() override {
+    for (;;) {
+      PageRef page = Inner()->Next();
+      if (page != nullptr) {
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        return page;
+      }
+      if (!MaybeRerun()) return nullptr;
+    }
+  }
+
+  std::size_t NextBatch(std::size_t max_pages,
+                        std::vector<PageRef>* out) override {
+    for (;;) {
+      const std::size_t got = Inner()->NextBatch(max_pages, out);
+      if (got > 0) {
+        delivered_.fetch_add(got, std::memory_order_relaxed);
+        return got;
+      }
+      if (!MaybeRerun()) return 0;
+    }
+  }
+
+  Status FinalStatus() const override { return Inner()->FinalStatus(); }
+
+  void CancelConsumer() override {
+    // May race with the consumer swapping inner_ in MaybeRerun. Cancel
+    // lands on whichever source the copy caught; a swap that slips past
+    // is caught by the collector's per-page stop check (the context is
+    // already cancelled when QueryHandle::Cancel calls us).
+    Inner()->CancelConsumer();
+  }
+
+  std::size_t PagesDelivered() const override {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+  void BindStopCheck(std::function<Status()> stop_check) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_check_ = stop_check;
+    inner_->BindStopCheck(std::move(stop_check));
+  }
+
+ private:
+  PageSourceRef Inner() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_;
+  }
+
+  /// End-of-stream triage; true = a fresh unshared run replaced the
+  /// poisoned reader and reading should continue. Runs only on the
+  /// consumer thread; mutex_ covers the inner_ swap against concurrent
+  /// CancelConsumer / FinalStatus callers.
+  bool MaybeRerun() {
+    if (reran_) return false;
+    reran_ = true;  // one attempt, whatever the triage below decides
+    const Status st = Inner()->FinalStatus();
+    if (st.ok()) return false;  // clean end-of-stream
+    if (delivered_.load(std::memory_order_relaxed) > 0) {
+      return false;  // mid-stream poison: replay is not reproducible
+    }
+    if (ctx_->StopRequested()) return false;  // self-inflicted stop
+    SHARING_LOG_QID(Warning, ctx_->query_id())
+        << "sharing host failed before this satellite consumed a page ("
+        << st.ToString() << ") — re-running the packet unshared";
+    PageSourceRef fresh = rerun_();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_check_) fresh->BindStopCheck(stop_check_);
+      inner_ = std::move(fresh);
+    }
+    rerun_counter_->Increment();
+    return true;
+  }
+
+  mutable std::mutex mutex_;
+  PageSourceRef inner_;  // guarded by mutex_ (swapped once on re-run)
+  ExecContextRef ctx_;
+  std::function<PageSourceRef()> rerun_;
+  Counter* rerun_counter_;
+  std::function<Status()> stop_check_;  // guarded by mutex_
+  std::atomic<std::size_t> delivered_{0};
+  bool reran_ = false;  // consumer thread only
+};
+
 }  // namespace
 
 Stage::Stage(std::string name, Options options, MetricsRegistry* metrics)
@@ -28,6 +145,8 @@ Stage::Stage(std::string name, Options options, MetricsRegistry* metrics)
       options_(options),
       metrics_(metrics),
       sp_opportunities_(metrics->GetCounter(metrics::kSpOpportunities)),
+      satellite_reruns_(
+          metrics->GetCounter(metrics::kSharingSatelliteRerun)),
       run_packet_hist_(
           metrics->GetHistogram(metrics::kStageRunPacketMicros)),
       trace_name_(Trace::InternString("run_packet:" + name_)),
@@ -287,6 +406,19 @@ PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
       if (PageSourceRef reader = it->second->AttachReader()) {
         sp_hits_.fetch_add(1, std::memory_order_relaxed);
         sp_opportunities_->Increment();
+        // Host-failure containment: a host abort poisons the channel, so
+        // the satellite reader rides a wrapper that re-dispatches the
+        // packet unshared (once) when the poison arrives before any page
+        // did. The re-run is forced kOff — attaching again could land on
+        // the same failing host.
+        auto rerun = [this, node, ctx, make_inputs, prepare] {
+          return SubmitFresh(node, ctx, make_inputs, prepare,
+                             AdmissionChoice{SpMode::kOff, "rerun", false, 0},
+                             false);
+        };
+        auto wrapped = std::make_shared<SatelliteRerunSource>(
+            std::move(reader), ctx, std::move(rerun), satellite_reruns_);
+        wrapped->BindStopCheck(MakeStopProbe(ctx));
         // The free win: this query executes nothing at this stage. Its
         // explain record points at the satellite reader, whose delivered
         // pages all count as served-by-the-host.
@@ -296,9 +428,9 @@ PageSourceRef Stage::SubmitOrShare(PlanNodeRef node, ExecContextRef ctx,
         rec.role = QueryExplain::StageRecord::Role::kSatellite;
         rec.transport = host_mode == SpMode::kPush ? "push" : "pull";
         rec.decided_by = "attach";
-        rec.source = reader;
+        rec.source = wrapped;
         ctx->explain()->AddStage(std::move(rec));
-        return reader;
+        return wrapped;
       }
       // Attach window closed (push host already emitting, or the host
       // finished/aborted): replace with a fresh host below.
@@ -327,6 +459,7 @@ PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
 
   if (choice.mode == SpMode::kOff) {
     auto fifo = std::make_shared<FifoBuffer>(options_.fifo_capacity);
+    fifo->BindStopCheck(MakeStopProbe(ctx));
     rec.role = QueryExplain::StageRecord::Role::kUnshared;
     rec.source = fifo;
     const std::size_t explain_index = ctx->explain()->AddStage(std::move(rec));
@@ -370,6 +503,7 @@ PageSourceRef Stage::SubmitFresh(PlanNodeRef node, ExecContextRef ctx,
   *self_slot = channel;
   PageSourceRef host_reader = channel->AttachReader();
   SHARING_CHECK(host_reader != nullptr);
+  host_reader->BindStopCheck(MakeStopProbe(ctx));
   rec.role = QueryExplain::StageRecord::Role::kHost;
   rec.transport = choice.mode == SpMode::kPush ? "push" : "pull";
   rec.source = host_reader;

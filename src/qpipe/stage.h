@@ -264,6 +264,9 @@ class Stage {
   Options options_;
   MetricsRegistry* metrics_;
   Counter* sp_opportunities_;
+  /// Satellites transparently re-dispatched unshared after their host
+  /// failed before delivering any page (see SatelliteRerunSource).
+  Counter* satellite_reruns_;
   Histogram* run_packet_hist_;
   /// Interned "run_packet:<stage>" — the stage's RunPacket span name
   /// (trace event names must outlive every ring slot).

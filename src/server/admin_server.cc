@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics_format.h"
 #include "common/trace.h"
@@ -478,25 +479,34 @@ std::string CostModelJson(const std::vector<StageCostModelInfo>& stages) {
   return out;
 }
 
+void AppendEscapedArray(std::string* out, const std::vector<std::string>& items) {
+  *out += '[';
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    for (char c : item) {
+      if (c == '"' || c == '\\') *out += '\\';
+      *out += c;
+    }
+    *out += '"';
+  }
+  *out += ']';
+}
+
 std::string HealthJson(const Watchdog::Health& health) {
   std::string out = "{";
   bool first = true;
   AppendField(&out, "healthy", health.healthy, &first);
   AppendField(&out, "ticks", health.ticks, &first);
   AppendJsonKey(&out, "reasons", &first);
-  out += '[';
-  bool first_reason = true;
-  for (const auto& reason : health.reasons) {
-    if (!first_reason) out += ',';
-    first_reason = false;
-    out += '"';
-    for (char c : reason) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
-  }
-  out += "]}";
+  AppendEscapedArray(&out, health.reasons);
+  // Degraded-but-running conditions (e.g. a latched-off spill tier):
+  // informational, never a 503.
+  AppendJsonKey(&out, "details", &first);
+  AppendEscapedArray(&out, health.details);
+  out += '}';
   return out;
 }
 
@@ -518,7 +528,9 @@ void RegisterEngineEndpoints(AdminServer* server, EngineInspector inspector,
         "  /queries            in-flight queries\n"
         "  /explain?query=<id> one query's sharing explain\n"
         "  /trace?ms=<n>       Chrome trace, last n ms\n"
-        "  /healthz            watchdog verdict\n");
+        "  /healthz            watchdog verdict\n"
+        "  /faults             fault-injection registry; ?arm=<spec> /\n"
+        "                      ?disarm=1 change the schedule\n");
   });
 
   server->Handle("/metrics", [metrics](const HttpRequest&) {
@@ -581,6 +593,27 @@ void RegisterEngineEndpoints(AdminServer* server, EngineInspector inspector,
     ms = std::min<int64_t>(ms, 600000);
     const int64_t since = ms == 0 ? 0 : Trace::NowMicros() - ms * 1000;
     return HttpResponse::Json(Trace::ExportChromeJson(since));
+  });
+
+  // Fault-injection control surface: GET /faults dumps the registry,
+  // ?arm=<spec> replaces the schedule (the spec grammar of
+  // FaultRegistry::Arm — the query-string parser splits on the FIRST
+  // '=', so specs like "disk.read=p0.5,seed=7" pass through intact),
+  // ?disarm=1 clears it. GET with side effects is a deliberate trade:
+  // the admin surface is loopback-only and curl-from-a-shell is the
+  // operator workflow it exists for.
+  server->Handle("/faults", [](const HttpRequest& request) {
+    auto arm = request.params.find("arm");
+    if (arm != request.params.end()) {
+      const Status st = FaultRegistry::Global().Arm(arm->second);
+      if (!st.ok()) {
+        return HttpResponse::Text("bad fault spec: " + st.ToString() + "\n",
+                                  400);
+      }
+    } else if (request.params.count("disarm") > 0) {
+      FaultRegistry::Global().Disarm();
+    }
+    return HttpResponse::Json(FaultRegistry::Global().DescribeJson());
   });
 
   server->Handle("/healthz", [watchdog](const HttpRequest&) {

@@ -51,6 +51,16 @@ struct EngineInspector {
   /// Per-priority-class I/O queue depths, indexed by IoPriority; empty
   /// when the engine runs without an IoScheduler.
   std::function<std::vector<std::size_t>()> io_queue_depths;
+
+  /// Cancels one in-flight query by id (the watchdog's over-SLO
+  /// escalation). Returns false when the id is unknown or already
+  /// finished. Absent: escalation unavailable.
+  std::function<bool(uint64_t)> cancel_query;
+
+  /// The SP spill tier's health: OK while usable (or not configured),
+  /// otherwise the Status that latched it off
+  /// (SpBudgetGovernor::DisabledReason) — surfaced as a /healthz detail.
+  std::function<Status()> spill_health;
 };
 
 }  // namespace sharing

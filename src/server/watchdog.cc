@@ -19,6 +19,8 @@ Watchdog::Watchdog(Options options, EngineInspector inspector)
           inspector_.metrics->GetCounter(metrics::kWatchdogIoSaturation)),
       spill_thrash_(
           inspector_.metrics->GetCounter(metrics::kWatchdogSpillThrash)),
+      cancelled_queries_(inspector_.metrics->GetCounter(
+          metrics::kWatchdogCancelledQueries)),
       unhealthy_(inspector_.metrics->GetGauge(metrics::kWatchdogUnhealthy)),
       warn_query_(static_cast<int64_t>(options.warn_interval_ms)),
       warn_parked_(static_cast<int64_t>(options.warn_interval_ms)),
@@ -73,6 +75,13 @@ void Watchdog::TickNow() {
             << "ms), stage=" << query.stage
             << ", pages_delivered=" << query.pages_delivered
             << " [suppressed " << warn_query_.suppressed() << "]";
+      }
+      if (options_.cancel_over_slo && inspector_.cancel_query &&
+          inspector_.cancel_query(query.query_id)) {
+        cancelled_queries_->Increment();
+        SHARING_LOG_QID(Warning, query.query_id)
+            << "watchdog: escalated — cancelled query over SLO after "
+            << query.age_micros / 1000 << "ms at " << query.stage;
       }
     }
   }
@@ -168,11 +177,23 @@ void Watchdog::TickNow() {
     have_baseline_ = true;
   }
 
+  // Degraded-but-running detail: a latched-off spill tier does not flip
+  // the verdict to 503 (queries still finish, just without a memory
+  // budget) but the /healthz body carries the causing status.
+  std::vector<std::string> details;
+  if (inspector_.spill_health) {
+    const Status spill = inspector_.spill_health();
+    if (!spill.ok()) {
+      details.push_back("sp spill tier disabled: " + spill.ToString());
+    }
+  }
+
   unhealthy_->Set(reasons.empty() ? 0 : 1);
   std::lock_guard<std::mutex> lock(health_mutex_);
   health_.healthy = reasons.empty();
   health_.ticks += 1;
   health_.reasons = std::move(reasons);
+  health_.details = std::move(details);
 }
 
 Watchdog::Health Watchdog::GetHealth() const {

@@ -71,13 +71,23 @@ class Watchdog {
 
     /// Minimum interval between emitted warnings, per condition.
     std::size_t warn_interval_ms = 5000;
+
+    /// Escalation for condition 1: cancel an over-SLO query (through
+    /// EngineInspector::cancel_query) instead of only flagging it. Each
+    /// escalation bumps `watchdog.cancelled_queries`; the query's
+    /// Collect observes Aborted (or DeadlineExceeded when its own
+    /// deadline also expired).
+    bool cancel_over_slo = false;
   };
 
-  /// The verdict /healthz serves. `reasons` is empty when healthy.
+  /// The verdict /healthz serves. `reasons` is empty when healthy;
+  /// `details` carries degraded-but-running conditions (e.g. a latched-
+  /// off spill tier) that inform without flipping the verdict to 503.
   struct Health {
     bool healthy = true;
     int64_t ticks = 0;
     std::vector<std::string> reasons;
+    std::vector<std::string> details;
   };
 
   Watchdog(Options options, EngineInspector inspector);
@@ -109,6 +119,7 @@ class Watchdog {
   Counter* parked_readers_;
   Counter* io_saturation_;
   Counter* spill_thrash_;
+  Counter* cancelled_queries_;
   Gauge* unhealthy_;
 
   LogRateLimiter warn_query_;

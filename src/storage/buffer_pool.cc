@@ -188,6 +188,9 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
 
 StatusOr<PageGuard> BufferPool::NewPage(uint32_t row_width, PageId* out_id) {
   PageId id = disk_->AllocatePage();
+  if (id == kInvalidPageId) {
+    return Status::ResourceExhausted("disk allocation failed (out of space)");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   std::size_t victim = FindVictim();
   if (victim == frames_.size()) {

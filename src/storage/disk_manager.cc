@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace sharing {
@@ -30,6 +31,9 @@ DiskManager::~DiskManager() {
 }
 
 PageId DiskManager::AllocatePage() {
+  if (SHARING_FAULT_POINT(fault_points::kDiskEnospc)) {
+    return kInvalidPageId;  // emulated out-of-space: no page to hand out
+  }
   {
     std::lock_guard<std::mutex> lock(free_mutex_);
     if (!free_list_.empty()) {
@@ -91,8 +95,7 @@ Status DiskManager::ReadPage(PageId id, uint8_t* out) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
   }
-  if (injected_read_faults_.load(std::memory_order_relaxed) > 0 &&
-      injected_read_faults_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+  if (SHARING_FAULT_POINT(fault_points::kDiskRead)) {
     return Status::IoError("injected read fault for page " +
                            std::to_string(id));
   }
@@ -133,6 +136,22 @@ Status DiskManager::WritePage(PageId id, const uint8_t* data) {
   if (id >= next_page_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
+  }
+  if (SHARING_FAULT_POINT(fault_points::kDiskWrite)) {
+    return Status::IoError("injected write fault for page " +
+                           std::to_string(id));
+  }
+  if (SHARING_FAULT_POINT(fault_points::kDiskWriteShort)) {
+    // A partial write that reached the device but not in full — callers
+    // must treat it exactly like the real short-fwrite path below.
+    return Status::IoError("injected short write for page " +
+                           std::to_string(id) + " (wrote " +
+                           std::to_string(kPageBytes / 2) + "/" +
+                           std::to_string(kPageBytes) + " bytes)");
+  }
+  if (SHARING_FAULT_POINT(fault_points::kDiskEnospc)) {
+    return Status::ResourceExhausted("injected ENOSPC writing page " +
+                                     std::to_string(id));
   }
   if (options_.write_latency_micros > 0) {
     std::this_thread::sleep_for(

@@ -59,7 +59,11 @@ class DiskManager {
 
   /// Allocates a zeroed page and returns its id, recycling freed pages
   /// before growing the store (spill files stay bounded by their live
-  /// working set instead of their cumulative traffic).
+  /// working set instead of their cumulative traffic). Returns
+  /// kInvalidPageId when the `disk.enospc` fault point fires (the
+  /// emulated out-of-space condition; see common/fault.h) — callers that
+  /// can degrade (the spill tier) must check, everyone else fails the
+  /// subsequent read/write with OutOfRange.
   PageId AllocatePage();
 
   /// Returns `id` to the allocator's free list. The page's contents are
@@ -108,14 +112,6 @@ class DiskManager {
   void SetLatencyModel(uint32_t read_latency_micros,
                        uint32_t read_bandwidth_mib);
 
-  /// Fault injection: the next `count` reads return IoError instead of
-  /// data. Tests use this to verify that scans, the circular-scan group,
-  /// and the CJOIN pipeline surface I/O failures as statuses rather than
-  /// hanging or crashing.
-  void FailNextReads(int32_t count) {
-    injected_read_faults_.store(count, std::memory_order_relaxed);
-  }
-
  private:
   void ChargeReadLatency(std::size_t bytes);
 
@@ -138,7 +134,6 @@ class DiskManager {
   std::atomic<bool> zero_on_read_nonempty_{false};
   std::atomic<uint32_t> read_latency_micros_;
   std::atomic<uint32_t> read_bandwidth_mib_;
-  std::atomic<int32_t> injected_read_faults_{0};
 
   // In-memory store (options.path empty).
   std::mutex mem_mutex_;

@@ -1,0 +1,142 @@
+// Unit tests for the engine-wide fault-injection registry: spec parsing
+// (and rejection), trigger modes (probability / every-Nth / one-shot),
+// payloads, determinism under a fixed seed, the disarmed fast path, and
+// the admin-facing JSON dump.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace sharing {
+namespace {
+
+/// Every test leaves the process-global registry disarmed.
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().Disarm(); }
+
+  FaultRegistry& reg() { return FaultRegistry::Global(); }
+};
+
+TEST_F(FaultRegistryTest, DisarmedChecksNeverFire) {
+  reg().Disarm();
+  EXPECT_FALSE(reg().armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(SHARING_FAULT_POINT(fault_points::kDiskRead));
+  }
+}
+
+TEST_F(FaultRegistryTest, OnceFiresExactlyOnce) {
+  SHARING_CHECK_OK(reg().Arm("disk.read=once"));
+  EXPECT_TRUE(reg().armed());
+  int fires = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (reg().Check(fault_points::kDiskRead)) ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(reg().TotalFires(), 1u);
+}
+
+TEST_F(FaultRegistryTest, EveryNthFiresOnSchedule) {
+  SHARING_CHECK_OK(reg().Arm("disk.write=n3"));
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 9; ++i) {
+    if (reg().Check(fault_points::kDiskWrite)) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{3, 6, 9}));
+}
+
+TEST_F(FaultRegistryTest, ProbabilityOneAlwaysFiresZeroNeverDoes) {
+  SHARING_CHECK_OK(reg().Arm("disk.read=p1,disk.write=p0"));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(reg().Check(fault_points::kDiskRead));
+    EXPECT_FALSE(reg().Check(fault_points::kDiskWrite));
+  }
+}
+
+TEST_F(FaultRegistryTest, ProbabilityScheduleIsDeterministicPerSeed) {
+  auto draw = [&](const std::string& spec) {
+    SHARING_CHECK_OK(reg().Arm(spec));
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(bool(reg().Check(fault_points::kSharingAppend)));
+    }
+    return outcomes;
+  };
+  auto a = draw("seed=7,sharing.append=p0.3");
+  auto b = draw("seed=7,sharing.append=p0.3");
+  auto c = draw("seed=8,sharing.append=p0.3");
+  EXPECT_EQ(a, b) << "same seed, same spec => identical fire sequence";
+  EXPECT_NE(a, c) << "a different seed must reshuffle the sequence";
+}
+
+TEST_F(FaultRegistryTest, PayloadRidesTheHit) {
+  SHARING_CHECK_OK(reg().Arm("io.dispatch.delay=once*2500"));
+  FaultHit hit = reg().Check(fault_points::kIoDispatchDelay);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit.payload, 2500);
+}
+
+TEST_F(FaultRegistryTest, UnarmedPointStaysQuietWhileOthersFire) {
+  SHARING_CHECK_OK(reg().Arm("spill.open=p1"));
+  EXPECT_TRUE(reg().Check(fault_points::kSpillOpen));
+  EXPECT_FALSE(reg().Check(fault_points::kDiskRead));
+}
+
+TEST_F(FaultRegistryTest, BadSpecsRejectedAndScheduleUntouched) {
+  SHARING_CHECK_OK(reg().Arm("disk.read=p1"));
+  for (const char* bad :
+       {"nonsense", "disk.read=", "disk.read=q5", "disk.read=p",
+        "disk.read=n0", "disk.read=nx", "=p1", "seed=notanint",
+        "disk.read=p2.5", "disk.read=once*junk"}) {
+    EXPECT_FALSE(reg().Arm(bad).ok()) << "spec accepted: " << bad;
+  }
+  // The pre-error schedule survives every rejected Arm.
+  EXPECT_TRUE(reg().armed());
+  EXPECT_TRUE(reg().Check(fault_points::kDiskRead));
+}
+
+TEST_F(FaultRegistryTest, EmptySpecDisarms) {
+  SHARING_CHECK_OK(reg().Arm("disk.read=p1"));
+  SHARING_CHECK_OK(reg().Arm(""));
+  EXPECT_FALSE(reg().armed());
+  EXPECT_FALSE(reg().Check(fault_points::kDiskRead));
+}
+
+TEST_F(FaultRegistryTest, RearmReplacesWholeSchedule) {
+  SHARING_CHECK_OK(reg().Arm("disk.read=p1"));
+  SHARING_CHECK_OK(reg().Arm("disk.write=p1"));
+  EXPECT_FALSE(reg().Check(fault_points::kDiskRead))
+      << "re-arming must drop points absent from the new spec";
+  EXPECT_TRUE(reg().Check(fault_points::kDiskWrite));
+}
+
+TEST_F(FaultRegistryTest, FiresCountIntoBoundMetrics) {
+  MetricsRegistry metrics;
+  reg().BindMetrics(&metrics);
+  SHARING_CHECK_OK(reg().Arm("disk.read=p1"));
+  reg().Check(fault_points::kDiskRead);
+  reg().Check(fault_points::kDiskRead);
+  EXPECT_EQ(metrics.GetCounter(metrics::kFaultInjected)->Get(), 2);
+  reg().BindMetrics(&MetricsRegistry::Global());
+}
+
+TEST_F(FaultRegistryTest, DescribeJsonNamesPointsAndSpec) {
+  SHARING_CHECK_OK(reg().Arm("seed=9,disk.read=n4*77"));
+  reg().Check(fault_points::kDiskRead);
+  const std::string json = reg().DescribeJson();
+  EXPECT_NE(json.find("\"armed\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("disk.read"), std::string::npos) << json;
+  EXPECT_NE(json.find("seed=9"), std::string::npos) << json;
+  reg().Disarm();
+  EXPECT_NE(reg().DescribeJson().find("\"armed\":false"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sharing

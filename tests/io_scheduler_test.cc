@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/logging.h"
 #include "io/io_scheduler.h"
 #include "qpipe/shared_pages_list.h"
 #include "qpipe/sp_budget_governor.h"
@@ -295,11 +297,92 @@ TEST(IoSchedulerTest, DiskManagerAsyncReadWriteRoundTrip) {
   EXPECT_EQ(0, std::memcmp(back, data.data(), kPageBytes));
 
   // Errors surface through the ticket like any other status.
-  disk.FailNextReads(1);
+  SHARING_CHECK_OK(FaultRegistry::Global().Arm("disk.read=once"));
   IoTicketRef failing =
       disk.ReadPageAsync(&scheduler, IoPriority::kFaultBack, id, back);
   ASSERT_NE(failing, nullptr);
   EXPECT_EQ(failing->Wait().code(), StatusCode::kIoError);
+  FaultRegistry::Global().Disarm();
+}
+
+// ---------------------------------------------------------------------------
+// IoScheduler: transient-failure retry with backoff
+// ---------------------------------------------------------------------------
+
+TEST(IoSchedulerTest, TransientFailureRetriedToSuccess) {
+  MetricsRegistry metrics;
+  IoScheduler::Options options = SchedulerOptions(&metrics, 1);
+  options.retry_limit = 3;
+  options.retry_backoff_micros = 50;  // keep the test fast
+  IoScheduler scheduler(options);
+
+  std::atomic<int> attempts{0};
+  IoTicketRef ticket = scheduler.Submit(IoPriority::kFaultBack, 0, [&] {
+    return ++attempts <= 2 ? Status::IoError("transient glitch")
+                           : Status::OK();
+  });
+  ASSERT_NE(ticket, nullptr);
+  EXPECT_TRUE(ticket->Wait().ok());
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(metrics.GetCounter(metrics::kIoRetries)->Get(), 2);
+  EXPECT_EQ(metrics.GetCounter(metrics::kIoRetryGaveUp)->Get(), 0);
+}
+
+TEST(IoSchedulerTest, RetryBudgetExhaustedSurfacesFailure) {
+  MetricsRegistry metrics;
+  IoScheduler::Options options = SchedulerOptions(&metrics, 1);
+  options.retry_limit = 2;
+  options.retry_backoff_micros = 50;
+  IoScheduler scheduler(options);
+
+  std::atomic<int> attempts{0};
+  IoTicketRef ticket = scheduler.Submit(IoPriority::kFaultBack, 0, [&] {
+    ++attempts;
+    return Status::Unavailable("still glitching");
+  });
+  ASSERT_NE(ticket, nullptr);
+  EXPECT_EQ(ticket->Wait().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts.load(), 3) << "initial attempt + retry_limit retries";
+  EXPECT_EQ(metrics.GetCounter(metrics::kIoRetries)->Get(), 2);
+  EXPECT_EQ(metrics.GetCounter(metrics::kIoRetryGaveUp)->Get(), 1);
+}
+
+TEST(IoSchedulerTest, PermanentFailureIsNeverRetried) {
+  MetricsRegistry metrics;
+  IoScheduler::Options options = SchedulerOptions(&metrics, 1);
+  options.retry_limit = 5;
+  IoScheduler scheduler(options);
+
+  std::atomic<int> attempts{0};
+  IoTicketRef ticket = scheduler.Submit(IoPriority::kSpillWrite, 0, [&] {
+    ++attempts;
+    return Status::ResourceExhausted("disk full");
+  });
+  ASSERT_NE(ticket, nullptr);
+  EXPECT_EQ(ticket->Wait().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(metrics.GetCounter(metrics::kIoRetries)->Get(), 0);
+}
+
+TEST(IoSchedulerTest, InjectedDispatchFaultIsRetried) {
+  MetricsRegistry metrics;
+  IoScheduler::Options options = SchedulerOptions(&metrics, 1);
+  options.retry_limit = 2;
+  options.retry_backoff_micros = 50;
+  IoScheduler scheduler(options);
+
+  // The injected dispatch failure fires on the first attempt only; the
+  // retry must then run the (healthy) work body and succeed.
+  SHARING_CHECK_OK(FaultRegistry::Global().Arm("io.dispatch.fail=once"));
+  std::atomic<int> attempts{0};
+  IoTicketRef ticket = scheduler.Submit(IoPriority::kFaultBack, 0, [&] {
+    ++attempts;
+    return Status::OK();
+  });
+  ASSERT_NE(ticket, nullptr);
+  EXPECT_TRUE(ticket->Wait().ok());
+  EXPECT_EQ(metrics.GetCounter(metrics::kIoRetries)->Get(), 1);
+  FaultRegistry::Global().Disarm();
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/fault.h"
 #include "core/sharing_engine.h"
 #include "exec/reference_executor.h"
 #include "storage/circular_scan.h"
@@ -228,6 +229,10 @@ class FaultTest : public ::testing::Test {
     ASSERT_GT(table_->num_pages(), 16u);
   }
 
+  // The registry is process-global; never leak a schedule into the next
+  // test.
+  void TearDown() override { FaultRegistry::Global().Disarm(); }
+
   PlanNodeRef ScanAll() {
     return std::make_shared<ScanNode>("t", table_->schema(), TruePredicate(),
                                       std::vector<std::size_t>{0, 1});
@@ -241,12 +246,12 @@ TEST_F(FaultTest, PlainScanSurfacesIoError) {
   QPipeOptions options;
   options.shared_scans = false;
   QPipeEngine engine(db_->catalog(), options, db_->metrics());
-  db_->disk()->FailNextReads(1);
+  SHARING_CHECK_OK(FaultRegistry::Global().Arm("disk.read=once"));
   auto result = engine.Execute(ScanAll());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
   // The engine recovers once the fault clears.
-  db_->disk()->FailNextReads(0);
+  FaultRegistry::Global().Disarm();
   auto retry = engine.Execute(ScanAll());
   ASSERT_TRUE(retry.ok()) << retry.status().ToString();
   EXPECT_EQ(retry.value().num_rows(), 20000u);
@@ -258,7 +263,7 @@ TEST_F(FaultTest, SharedCircularScanSurfacesIoErrorNotShortResult) {
   QPipeEngine engine(db_->catalog(), options, db_->metrics());
   // Warm path works.
   ASSERT_TRUE(engine.Execute(ScanAll()).ok());
-  db_->disk()->FailNextReads(1);
+  SHARING_CHECK_OK(FaultRegistry::Global().Arm("disk.read=once"));
   auto result = engine.Execute(ScanAll());
   // Either the fault hit this query's cycle (must be IoError, never a
   // short row count) or another reader absorbed it.
@@ -271,7 +276,7 @@ TEST_F(FaultTest, SharedCircularScanSurfacesIoErrorNotShortResult) {
 
 TEST_F(FaultTest, CircularScanTicketReportsError) {
   CircularScanGroup group(table_, /*queue_depth=*/2, db_->metrics());
-  db_->disk()->FailNextReads(1);
+  SHARING_CHECK_OK(FaultRegistry::Global().Arm("disk.read=once"));
   auto ticket = group.Attach();
   std::size_t pages_seen = 0;
   while (auto page = ticket->Next()) ++pages_seen;
@@ -294,12 +299,13 @@ TEST_F(FaultTest, CjoinPipelineFailsQueriesOnFactScanError) {
   auto warm = engine.Execute(plan);
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
 
-  db->disk()->FailNextReads(1000000);  // persistent failure
+  // p1 = every disk read fails until disarmed.
+  SHARING_CHECK_OK(FaultRegistry::Global().Arm("disk.read=p1"));
   ASSERT_TRUE(db->buffer_pool()->EvictAll().ok());  // force disk reads
   auto result = engine.Execute(plan);
   ASSERT_FALSE(result.ok());
 
-  db->disk()->FailNextReads(0);
+  FaultRegistry::Global().Disarm();
   auto recovered = engine.Execute(plan);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_EQ(recovered.value().CanonicalRows(), warm.value().CanonicalRows());
@@ -322,11 +328,11 @@ TEST_F(FaultTest, AllEngineModesSurfacePersistentIoError) {
     // scans continuously, and evicting first would let it re-warm the
     // pool from the healthy disk before the fault lands. With the fault
     // already armed, the cold cache forces every path to observe it.
-    db->disk()->FailNextReads(1000000);
+    SHARING_CHECK_OK(FaultRegistry::Global().Arm("disk.read=p1"));
     ASSERT_TRUE(db->buffer_pool()->EvictAll().ok());
     auto result = engine.Execute(plan);
     EXPECT_FALSE(result.ok()) << EngineModeToString(mode);
-    db->disk()->FailNextReads(0);
+    FaultRegistry::Global().Disarm();
     // Recovery may take a retry: in SP modes a new query can legitimately
     // attach to a failing host that is still draining, inheriting its
     // error once. It must succeed shortly after the fault clears.

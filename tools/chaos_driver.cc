@@ -1,0 +1,294 @@
+// Chaos harness: seeded fault schedules over the SSB workload.
+//
+// Usage: chaos_driver [seed]
+//
+// Generates a small SSB database, computes unfaulted reference results
+// for all 13 queries, then replays the workload under a series of fault
+// scenarios (disk faults, I/O dispatch faults + injected latency, host
+// kills mid-sharing, spill-store failures, tight deadlines, everything
+// at once). The invariants checked on every single query:
+//
+//   1. It terminates (the per-scenario deadline turns any would-be hang
+//      into kDeadlineExceeded; the CI timeout is the outer backstop).
+//   2. Its status is one of: OK, Aborted (cancelled), DeadlineExceeded,
+//      or an error that traces back to an injected fault.
+//   3. If it reports OK, its rows are bit-identical to the unfaulted
+//      reference — a fault may fail a query, never corrupt it.
+//
+// The host-kill scenario additionally requires sharing.satellite_rerun
+// to rise: satellites must actually recover from dead hosts, not merely
+// error out. Exit code 0 = all invariants held. ci/check_chaos.sh runs
+// this under ASan with the fixed seed 42 plus one logged random seed.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/database.h"
+#include "exec/reference_executor.h"
+#include "qpipe/engine.h"
+#include "workload/ssb.h"
+
+namespace sharing {
+namespace {
+
+struct QuerySpec {
+  int flight;
+  int variant;
+};
+
+std::vector<QuerySpec> AllQueries() {
+  std::vector<QuerySpec> qs;
+  for (int flight = 1; flight <= 4; ++flight) {
+    const int max_variant = flight == 3 ? 4 : 3;
+    for (int variant = 1; variant <= max_variant; ++variant) {
+      qs.push_back({flight, variant});
+    }
+  }
+  return qs;
+}
+
+struct Scenario {
+  std::string name;
+  std::string fault_spec;       // armed for the whole scenario
+  std::size_t timeout_ms = 10000;
+  std::size_t io_retry_limit = 2;
+  std::size_t sp_memory_budget = 0;
+  SpMode sp_mode = SpMode::kPull;
+  bool expect_reruns = false;   // sharing.satellite_rerun must rise
+  bool expect_deadlines = false;  // at least one kDeadlineExceeded
+};
+
+struct Tally {
+  std::atomic<int> ok{0};
+  std::atomic<int> deadline{0};
+  std::atomic<int> aborted{0};
+  std::atomic<int> injected{0};
+  std::atomic<int> violations{0};
+};
+
+bool StatusAcceptable(const Status& st) {
+  if (st.ok()) return true;
+  if (st.code() == StatusCode::kDeadlineExceeded) return true;
+  if (st.code() == StatusCode::kAborted) return true;
+  return st.ToString().find("injected") != std::string::npos;
+}
+
+void RecordOutcome(const Status& st, Tally* tally) {
+  if (st.ok()) {
+    tally->ok.fetch_add(1);
+  } else if (st.code() == StatusCode::kDeadlineExceeded) {
+    tally->deadline.fetch_add(1);
+  } else if (st.code() == StatusCode::kAborted) {
+    tally->aborted.fetch_add(1);
+  } else {
+    tally->injected.fetch_add(1);
+  }
+}
+
+int RunScenario(Database* db, const Scenario& scenario, uint64_t seed,
+                const std::vector<QuerySpec>& queries,
+                const std::vector<std::vector<std::string>>& reference) {
+  std::printf("--- scenario %-10s spec=\"%s\" timeout=%zums\n",
+              scenario.name.c_str(), scenario.fault_spec.c_str(),
+              scenario.timeout_ms);
+
+  QPipeOptions options = QPipeOptions::AllSp(scenario.sp_mode);
+  options.query_timeout_ms = scenario.timeout_ms;
+  options.io_retry_limit = scenario.io_retry_limit;
+  options.sp_memory_budget = scenario.sp_memory_budget;
+  if (!scenario.fault_spec.empty()) {
+    options.fault_spec = "seed=" + std::to_string(seed);
+    options.fault_spec += "," + scenario.fault_spec;
+  }
+  const int64_t reruns_before =
+      db->metrics()->GetCounter(metrics::kSharingSatelliteRerun)->Get();
+
+  Tally tally;
+  {
+    QPipeEngine engine(db->catalog(), options, db->metrics());
+
+    // Pass 1: every query once, from concurrent threads (distinct mixes).
+    {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+          for (std::size_t q = t; q < queries.size(); q += 4) {
+            auto plan = ssb::MakeQuery(queries[q].flight, queries[q].variant);
+            if (!plan.ok()) {
+              tally.violations.fetch_add(1);
+              continue;
+            }
+            auto result = engine.Execute(plan.value());
+            RecordOutcome(result.status(), &tally);
+            if (!StatusAcceptable(result.status())) {
+              std::printf("VIOLATION: Q%d.%d unacceptable status: %s\n",
+                          queries[q].flight, queries[q].variant,
+                          result.status().ToString().c_str());
+              tally.violations.fetch_add(1);
+            } else if (result.ok() &&
+                       result.value().CanonicalRows() != reference[q]) {
+              std::printf("VIOLATION: Q%d.%d OK but rows differ from the "
+                          "unfaulted reference\n",
+                          queries[q].flight, queries[q].variant);
+              tally.violations.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+
+    // Pass 2: identical-query batches (host + satellites), until the
+    // host-kill scenario has demonstrated a satellite re-run.
+    const int rounds = scenario.expect_reruns ? 40 : 4;
+    for (int round = 0; round < rounds; ++round) {
+      auto plan_or = ssb::MakeQuery(3, 2);
+      if (!plan_or.ok()) break;
+      std::vector<QueryHandle> handles;
+      for (int q = 0; q < 4; ++q) {
+        handles.push_back(engine.Submit(ssb::MakeQuery(3, 2).value()));
+      }
+      std::vector<std::thread> threads;
+      for (auto& handle : handles) {
+        threads.emplace_back([&] {
+          auto result = handle.Collect();
+          RecordOutcome(result.status(), &tally);
+          if (!StatusAcceptable(result.status())) {
+            std::printf("VIOLATION: shared Q3.2 unacceptable status: %s\n",
+                        result.status().ToString().c_str());
+            tally.violations.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      if (scenario.expect_reruns &&
+          db->metrics()->GetCounter(metrics::kSharingSatelliteRerun)->Get() >
+              reruns_before) {
+        break;
+      }
+    }
+  }  // engine drains and shuts down here, faults still armed
+  const uint64_t fires = FaultRegistry::Global().TotalFires();
+  FaultRegistry::Global().Disarm();
+
+  const int64_t reruns =
+      db->metrics()->GetCounter(metrics::kSharingSatelliteRerun)->Get() -
+      reruns_before;
+  std::printf(
+      "    ok=%d deadline=%d aborted=%d injected=%d reruns=%lld fires=%llu\n",
+      tally.ok.load(), tally.deadline.load(), tally.aborted.load(),
+      tally.injected.load(), static_cast<long long>(reruns),
+      static_cast<unsigned long long>(fires));
+
+  int violations = tally.violations.load();
+  if (scenario.expect_reruns && reruns == 0) {
+    std::printf("VIOLATION: host-kill scenario produced no satellite "
+                "re-runs\n");
+    ++violations;
+  }
+  if (scenario.expect_deadlines && tally.deadline.load() == 0) {
+    std::printf("VIOLATION: deadline scenario tripped no deadlines\n");
+    ++violations;
+  }
+  if (scenario.name == "control" &&
+      (tally.ok.load() == 0 || tally.deadline.load() + tally.aborted.load() +
+                                       tally.injected.load() !=
+                                   0)) {
+    std::printf("VIOLATION: control scenario must be all-OK\n");
+    ++violations;
+  }
+  return violations;
+}
+
+int Run(uint64_t seed) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::printf("chaos_driver: seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+
+  // A pool far smaller than lineorder, so scans genuinely hit the disk
+  // layer where most fault points live.
+  DatabaseOptions db_options;
+  db_options.buffer_pool_frames = 256;
+  Database db(db_options);
+  const double sf = 0.005;
+  Status gen = ssb::GenerateAll(db.catalog(), db.buffer_pool(), sf);
+  if (!gen.ok()) {
+    std::printf("FATAL: SSB generation failed: %s\n", gen.ToString().c_str());
+    return 1;
+  }
+
+  const auto queries = AllQueries();
+  std::vector<std::vector<std::string>> reference;
+  ReferenceExecutor ref(db.catalog());
+  for (const auto& q : queries) {
+    auto plan = ssb::MakeQuery(q.flight, q.variant);
+    if (!plan.ok()) {
+      std::printf("FATAL: MakeQuery(%d,%d): %s\n", q.flight, q.variant,
+                  plan.status().ToString().c_str());
+      return 1;
+    }
+    auto result = ref.Execute(*plan.value());
+    if (!result.ok()) {
+      std::printf("FATAL: reference Q%d.%d failed: %s\n", q.flight,
+                  q.variant, result.status().ToString().c_str());
+      return 1;
+    }
+    reference.push_back(result.value().CanonicalRows());
+  }
+
+  const std::vector<Scenario> scenarios = {
+      {.name = "control", .fault_spec = ""},
+      {.name = "disk",
+       .fault_spec = "disk.read=p0.01,disk.write=p0.05",
+       .sp_mode = SpMode::kPull},
+      {.name = "io",
+       .fault_spec = "io.dispatch.fail=p0.05,io.dispatch.delay=p0.05*500",
+       .sp_mode = SpMode::kAdaptive},
+      {.name = "hostkill",
+       .fault_spec = "sharing.append=n2",
+       .sp_mode = SpMode::kPull,
+       .expect_reruns = true},
+      {.name = "spill",
+       .fault_spec = "spill.open=once,disk.enospc=p0.1",
+       .sp_memory_budget = 16,
+       .sp_mode = SpMode::kPull},
+      {.name = "deadline",
+       .fault_spec = "io.dispatch.delay=p0.2*2000",
+       .timeout_ms = 1,
+       .sp_mode = SpMode::kPull,
+       .expect_deadlines = true},
+      {.name = "mixed",
+       .fault_spec = "disk.read=p0.005,io.dispatch.fail=p0.02,"
+                     "sharing.append=p0.01,disk.enospc=p0.02",
+       .timeout_ms = 5000,
+       .sp_mode = SpMode::kAdaptive},
+  };
+
+  int violations = 0;
+  for (const auto& scenario : scenarios) {
+    violations += RunScenario(&db, scenario, seed, queries, reference);
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("chaos_driver: %s (%d violation%s, %.1fs)\n",
+              violations == 0 ? "OK" : "FAILED", violations,
+              violations == 1 ? "" : "s", elapsed);
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sharing
+
+int main(int argc, char** argv) {
+  uint64_t seed = 42;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+  return sharing::Run(seed);
+}
